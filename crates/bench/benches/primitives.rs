@@ -1,0 +1,111 @@
+//! Criterion benches of the building blocks: detection primitives,
+//! cache model, workload generation and the pipeline engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unsync_fault::{crc16_word, Fingerprint, ParityWord, SecdedCodeword};
+use unsync_mem::{AccessKind, Cache, CacheConfig, HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+fn bench_detection_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("parity/store+load", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37);
+            ParityWord::store(x).load()
+        })
+    });
+    g.bench_function("secded/encode+decode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37);
+            SecdedCodeword::encode(x).decode()
+        })
+    });
+    g.bench_function("secded/correct-one-flip", |b| {
+        let mut bit = 0u32;
+        b.iter(|| {
+            bit = (bit + 1) % 72;
+            let mut cw = SecdedCodeword::encode(0xdead_beef);
+            cw.flip_bit(bit);
+            cw.decode()
+        })
+    });
+    g.bench_function("crc16/word", |b| {
+        let mut crc = 0xffffu16;
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            crc = crc16_word(crc, x);
+            crc
+        })
+    });
+    g.bench_function("fingerprint/update", |b| {
+        let mut fp = Fingerprint::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fp.update(i * 4, i);
+            fp.peek()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l1/hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
+        cache.access(0x1000, AccessKind::Read);
+        b.iter(|| cache.access(0x1000, AccessKind::Read))
+    });
+    g.bench_function("l1/streaming-misses", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            cache.access(addr, AccessKind::Read)
+        })
+    });
+    g.bench_function("hierarchy/load", |b| {
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+        let mut cycle = 0u64;
+        let mut addr = 0x1000u64;
+        b.iter(|| {
+            cycle += 4;
+            addr = addr.wrapping_add(8) & 0xf_ffff;
+            mem.load(0, addr, cycle)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_and_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for bench in [Benchmark::Bzip2, Benchmark::Sha] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(BenchmarkId::new("gen", bench.name()), &bench, |b, &bench| {
+            b.iter(|| WorkloadGen::new(bench, 10_000, 1).collect_trace())
+        });
+        g.bench_with_input(BenchmarkId::new("feed-10k", bench.name()), &bench, |b, &bench| {
+            let trace = WorkloadGen::new(bench, 10_000, 1).collect_trace();
+            b.iter(|| {
+                let mut mem =
+                    MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+                let mut engine = OooEngine::new(CoreConfig::table1(), 0);
+                let mut hooks = NullHooks;
+                for inst in trace.insts() {
+                    engine.feed(inst, &mut mem, &mut hooks);
+                }
+                engine.stats().last_commit_cycle
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection_primitives, bench_cache, bench_workload_and_engine);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation: recovery disciplines across soft-error rates.
+//!
+//! Three ways to buy back a detected error:
+//! * **UnSync** — always-forward state copy: zero re-execution, expensive
+//!   per event (whole-L1 copy), *nothing* paid when error-free;
+//! * **Reunion** — fine-grained rollback: cheap per event, but the
+//!   fingerprint machinery taxes every instruction;
+//! * **Checkpointing** (Smolens 2004) — coarse rollback: cheap machinery,
+//!   but half a (multi-thousand-instruction) interval re-executes per
+//!   event and every boundary stalls for the heavy-weight snapshot.
+//!
+//! The sweep shows where each discipline wins as the error rate rises —
+//! the §VI-C analysis generalized to three designs.
+
+use unsync_bench::ExperimentConfig;
+use unsync_core::{RecoveryMode, UnsyncConfig, UnsyncPair};
+use unsync_fault::{FaultSite, FaultTarget, PairFault};
+use unsync_mem::WritePolicy;
+use unsync_reunion::{
+    checkpoint_error_cost, CheckpointConfig, CheckpointHooks, ReunionConfig, ReunionPair,
+};
+use unsync_sim::{run_baseline, run_stream, CoreConfig};
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let bench = Benchmark::Gzip;
+    let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
+    let insts = cfg.inst_count as f64;
+
+    let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+    let base = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle as f64;
+
+    // Error-free runtimes.
+    let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+    let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+    let u0 = unsync.run(&t, &[]).cycles as f64;
+    let r0 = reunion.run(&t, &[]).cycles as f64;
+    let ckpt_cfg = CheckpointConfig::default();
+    let c0 = {
+        let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+        let mut hooks = CheckpointHooks::new(ckpt_cfg);
+        run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough)
+            .core
+            .last_commit_cycle as f64
+    };
+
+    // Per-error costs: measured for UnSync/Reunion, analytic for the
+    // checkpoint scheme.
+    let k = 10u64;
+    let faults: Vec<PairFault> = (0..k)
+        .map(|i| PairFault {
+            at: (i + 1) * cfg.inst_count / (k + 1),
+            core: (i % 2) as usize,
+            site: FaultSite { target: FaultTarget::Rob, bit_offset: 7 + i }, kind: unsync_fault::FaultKind::Single })
+        .collect();
+    let u_cost = (unsync.run(&t, &faults).cycles as f64 - u0) / k as f64;
+    let r_cost = (reunion.run(&t, &faults).cycles as f64 - r0) / k as f64;
+    let c_cost = checkpoint_error_cost(&ckpt_cfg, c0 / insts);
+
+    println!("Ablation — recovery disciplines on {} ({} instructions)", bench.name(), cfg.inst_count);
+    println!(
+        "{:<14} {:>16} {:>18}",
+        "discipline", "error-free ovh", "cycles per error"
+    );
+    for (name, t0, cost) in [
+        ("UnSync", u0, u_cost),
+        ("Reunion", r0, r_cost),
+        ("Checkpoint", c0, c_cost),
+    ] {
+        println!("{:<14} {:>15.2}% {:>18.0}", name, (t0 / base - 1.0) * 100.0, cost);
+    }
+
+    println!("\nprojected runtime (normalized to baseline) vs SER:");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "SER (/inst)", "UnSync", "Reunion", "Checkpoint"
+    );
+    for exp in [-17i32, -9, -7, -6, -5, -4, -3] {
+        let rate = 10f64.powi(exp);
+        let proj = |t0: f64, cost: f64| (t0 + rate * insts * cost) / base;
+        println!(
+            "{:>12.0e} {:>10.4} {:>10.4} {:>12.4}",
+            rate,
+            proj(u0, u_cost),
+            proj(r0, r_cost),
+            proj(c0, c_cost)
+        );
+    }
+    println!("\nReading: at physical rates (≤1e-7) the error-free column dominates and the");
+    println!("cheapest machinery (UnSync) wins; only at absurd rates do rollback disciplines");
+    println!("catch up — the paper's always-forward bet, quantified across three designs.");
+
+    // Second axis: the always-forward recovery's own L1 strategy.
+    let mut inval_cfg = UnsyncConfig::paper_baseline();
+    inval_cfg.recovery_mode = RecoveryMode::InvalidateOnly;
+    let inval = UnsyncPair::new(CoreConfig::table1(), inval_cfg);
+    let i0 = inval.run(&t, &[]).cycles as f64;
+    let i_cost = (inval.run(&t, &faults).cycles as f64 - i0) / k as f64;
+    println!("\nUnSync L1-recovery strategy ablation (same always-forward discipline):");
+    println!("{:<22} {:>18}", "strategy", "cycles per error");
+    println!("{:<22} {:>18.0}", "copy whole L1 (paper)", u_cost);
+    println!("{:<22} {:>18.0}", "invalidate + refill", i_cost);
+    println!("The invalidate-only variant shifts the cost into post-recovery cold misses,");
+    println!("which the per-error figure above already includes (measured end to end).");
+}

@@ -1,0 +1,46 @@
+//! Runs every table and figure in sequence (the full evaluation).
+
+use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_workloads::Benchmark;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let results_dir = std::path::Path::new("results");
+    let save = |name: &str, content: &str| {
+        if results_dir.is_dir() {
+            let _ = std::fs::write(results_dir.join(name), content);
+        }
+    };
+
+    println!("==================== Table II ====================");
+    println!("{}", unsync_hwcost::table2().render());
+    println!("==================== Table III ===================");
+    println!("{}", unsync_hwcost::table3().render());
+
+    println!("==================== Fig. 4 ======================");
+    let f4 = experiments::fig4(cfg);
+    print!("{}", render::fig4(&f4));
+    save("fig4.csv", &render::csv::fig4(&f4));
+
+    println!("==================== Fig. 5 ======================");
+    let f5_benches = [Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha, Benchmark::Bzip2];
+    let f5 = experiments::fig5(cfg, &f5_benches);
+    print!("{}", render::fig5(&f5));
+    save("fig5.csv", &render::csv::fig5(&f5));
+
+    println!("==================== Fig. 6 ======================");
+    let f6_benches = [Benchmark::Qsort, Benchmark::Rijndael, Benchmark::Bzip2];
+    let f6 = experiments::fig6(cfg, &f6_benches);
+    print!("{}", render::fig6(&f6));
+    save("fig6.csv", &render::csv::fig6(&f6));
+
+    println!("==================== §VI-C =======================");
+    let ser_benches =
+        [Benchmark::Bzip2, Benchmark::Gzip, Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha];
+    let sweep = experiments::ser_sweep(cfg, &ser_benches);
+    print!("{}", render::ser(&sweep));
+    save("ser_sweep.csv", &render::csv::ser(&sweep));
+
+    println!("==================== §VI-D =======================");
+    print!("{}", render::roec(&experiments::roec(cfg, 40)));
+}

@@ -1,0 +1,45 @@
+//! AVF-weighted SDC/DUE analysis per architecture: how much *silent*
+//! vulnerability each scheme leaves, weighted by how often struck bits
+//! actually hold live data.
+
+use unsync_bench::ExperimentConfig;
+use unsync_fault::avf;
+use unsync_fault::Coverage;
+use unsync_sim::{run_baseline, CoreConfig};
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("AVF-weighted vulnerability ({} instructions per benchmark)", cfg.inst_count);
+    println!(
+        "{:<12} {:>8} {:>8} {:>9}   {:>14} {:>14} {:>14}",
+        "benchmark", "RF AVF", "ROB AVF", "L1 reuse", "baseline SDC%", "Reunion SDC%", "UnSync SDC%"
+    );
+    for bench in [Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Mcf, Benchmark::Sha, Benchmark::Qsort] {
+        let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
+        let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+        let sim = run_baseline(CoreConfig::table1(), &mut s);
+        let core = CoreConfig::table1();
+        let est = avf::estimate(
+            &t,
+            sim.core.avg_rob_occupancy() / core.rob_size as f64,
+            // IQ/LSQ utilization approximated from ROB occupancy scaled
+            // by their relative depths.
+            sim.core.avg_rob_occupancy() / core.rob_size as f64,
+            sim.core.avg_rob_occupancy() / core.rob_size as f64 * 0.5,
+        );
+        let split = |c: Coverage| avf::SdcDueSplit::compute(&est, &c).sdc_fraction() * 100.0;
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>9.3}   {:>13.1}% {:>13.1}% {:>13.1}%",
+            bench.name(),
+            est.register_file,
+            est.rob,
+            est.l1_data,
+            split(Coverage::baseline()),
+            split(Coverage::reunion()),
+            split(Coverage::unsync()),
+        );
+    }
+    println!("\nReading: UnSync's placement drives AVF-weighted silent corruption to zero;");
+    println!("Reunion's residual SDC comes from the ARF and TLB it leaves uncovered.");
+}

@@ -1,0 +1,44 @@
+//! Fig. 4 with statistical rigor: the per-benchmark overheads across
+//! several workload seeds, reported as mean ± 95 % CI.
+//!
+//! The single-seed `fig4` binary is deterministic; this one shows how
+//! much of each number is workload-draw noise.
+
+use unsync_bench::{experiments, stats, ExperimentConfig};
+use unsync_workloads::Benchmark;
+
+fn main() {
+    let base = ExperimentConfig::from_env();
+    let seeds: Vec<u64> = (base.seed..base.seed + 5).collect();
+    println!(
+        "Fig. 4 across {} seeds ({} instructions each): overhead vs baseline, mean ± 95% CI",
+        seeds.len(),
+        base.inst_count
+    );
+
+    // One full fig4 per seed, in parallel.
+    let runs = stats::multi_seed(&seeds, |seed| {
+        experiments::fig4(ExperimentConfig { seed, ..base })
+    });
+
+    println!(
+        "{:<14} {:>20} {:>20}",
+        "benchmark", "Reunion overhead %", "UnSync overhead %"
+    );
+    let mut all_r = Vec::new();
+    let mut all_u = Vec::new();
+    for (i, bench) in Benchmark::all().iter().enumerate() {
+        let r: Vec<f64> = runs.iter().map(|rows| rows[i].reunion_overhead * 100.0).collect();
+        let u: Vec<f64> = runs.iter().map(|rows| rows[i].unsync_overhead * 100.0).collect();
+        let (sr, su) = (stats::Summary::of(&r), stats::Summary::of(&u));
+        all_r.extend_from_slice(&r);
+        all_u.extend_from_slice(&u);
+        println!("{:<14} {:>20} {:>20}", bench.name(), sr.display(), su.display());
+    }
+    println!(
+        "{:<14} {:>20} {:>20}",
+        "ALL",
+        stats::Summary::of(&all_r).display(),
+        stats::Summary::of(&all_u).display()
+    );
+}

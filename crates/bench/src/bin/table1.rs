@@ -1,0 +1,43 @@
+//! Regenerates Table I: the simulated baseline CMP parameters.
+
+use unsync_mem::HierarchyConfig;
+use unsync_sim::CoreConfig;
+
+fn main() {
+    let core = CoreConfig::table1();
+    let mem = HierarchyConfig::table1();
+    println!("Table I — simulated baseline CMP parameters");
+    println!("{:<18} 4 logical cores, Alpha 21264-class", "Processor Cores");
+    println!(
+        "{:<18} {:.0} GHz, 5-stage pipeline; out-of-order, {}-wide fetch/issue/commit",
+        "", core.clock_ghz, core.fetch_width
+    );
+    println!("{:<18} {}", "Issue Queue", core.iq_size);
+    println!("{:<18} ROB {}, LSQ {}", "Windows", core.rob_size, core.lsq_size);
+    println!(
+        "{:<18} {} KB split I/D, {}-way, {} MSHRs, {}-cycle access, {}-byte lines",
+        "L1 Cache",
+        mem.l1d.size_bytes / 1024,
+        mem.l1d.assoc,
+        mem.l1d.mshrs,
+        mem.l1d.hit_latency,
+        mem.l1d.line_bytes
+    );
+    println!(
+        "{:<18} {} MB, {}-way, {}-byte lines, {}-cycle access, {} MSHRs",
+        "Shared L2 Cache",
+        mem.l2.size_bytes / (1024 * 1024),
+        mem.l2.assoc,
+        mem.l2.line_bytes,
+        mem.l2.hit_latency,
+        mem.l2.mshrs
+    );
+    println!("{:<18} {} entries, {}-way", "I-TLB", mem.itlb.entries, mem.itlb.assoc);
+    println!("{:<18} {} entries, {}-way", "D-TLB", mem.dtlb.entries, mem.dtlb.assoc);
+    println!(
+        "{:<18} {}-bit wide, {} cycles access latency",
+        "Memory",
+        mem.bus_bytes_per_cycle * 8,
+        mem.dram_latency
+    );
+}

@@ -1,0 +1,514 @@
+//! Experiment drivers for every figure and reliability study.
+
+use serde::Serialize;
+use unsync_core::{UnsyncConfig, UnsyncPair};
+use unsync_fault::{Coverage, FaultTarget, PairFault, SerRate};
+use unsync_isa::TraceProgram;
+use unsync_reunion::{ReunionConfig, ReunionPair};
+use unsync_sim::{run_baseline, CoreConfig};
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+/// Common knobs for the simulation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ExperimentConfig {
+    /// Instructions simulated per benchmark per configuration.
+    pub inst_count: u64,
+    /// Workload seed (recorded in EXPERIMENTS.md).
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { inst_count: 100_000, seed: 1 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A smaller configuration for Criterion benches and smoke tests.
+    pub fn quick() -> Self {
+        ExperimentConfig { inst_count: 10_000, seed: 1 }
+    }
+
+    /// Reads overrides from the environment: `UNSYNC_INSTS` and
+    /// `UNSYNC_SEED` scale every experiment binary without recompiling.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("UNSYNC_INSTS") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                cfg.inst_count = n.max(1_000);
+            }
+        }
+        if let Ok(v) = std::env::var("UNSYNC_SEED") {
+            if let Ok(s) = v.trim().parse::<u64>() {
+                cfg.seed = s;
+            }
+        }
+        cfg
+    }
+}
+
+fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
+    let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+    run_baseline(CoreConfig::table1(), &mut stream).core.last_commit_cycle
+}
+
+fn trace(bench: Benchmark, cfg: ExperimentConfig) -> TraceProgram {
+    WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace()
+}
+
+/// Runs `f` once per benchmark, in parallel, preserving benchmark order.
+fn per_benchmark<T, F>(benches: &[Benchmark], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Benchmark) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = benches.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &bench) in out.iter_mut().zip(benches) {
+            let f = &f;
+            s.spawn(move |_| {
+                *slot = Some(f(bench));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    out.into_iter().map(|x| x.expect("worker filled slot")).collect()
+}
+
+// ───────────────────────────── Figure 4 ─────────────────────────────────
+
+/// One bar group of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Serializing-instruction fraction of the trace.
+    pub serializing_fraction: f64,
+    /// Baseline IPC.
+    pub base_ipc: f64,
+    /// Reunion runtime overhead vs. baseline (fraction).
+    pub reunion_overhead: f64,
+    /// UnSync runtime overhead vs. baseline (fraction).
+    pub unsync_overhead: f64,
+}
+
+/// Fig. 4: per-benchmark runtime overhead of Reunion (FI = 10) and UnSync
+/// relative to the unprotected baseline CMP. The paper's claims: Reunion
+/// averages ≈8 % and exceeds 10 % on bzip2/ammp/galgel (which have 2 %,
+/// 1.7 % and 1 % serializing instructions); UnSync stays ≈2 %.
+pub fn fig4(cfg: ExperimentConfig) -> Vec<Fig4Row> {
+    per_benchmark(Benchmark::all(), |bench| {
+        let t = trace(bench, cfg);
+        let base = baseline_cycles(bench, cfg) as f64;
+        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
+            .run(&t, &[]);
+        let unsync =
+            UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
+        Fig4Row {
+            bench: bench.name(),
+            serializing_fraction: t.stats().serializing_fraction(),
+            base_ipc: cfg.inst_count as f64 / base,
+            reunion_overhead: reunion.cycles as f64 / base - 1.0,
+            unsync_overhead: unsync.cycles as f64 / base - 1.0,
+        }
+    })
+}
+
+// ───────────────────────────── Figure 5 ─────────────────────────────────
+
+/// One (FI, latency) point of the Fig. 5 sweep for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig5Cell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Fingerprint interval.
+    pub fi: u32,
+    /// Comparison latency, cycles.
+    pub latency: u32,
+    /// Reunion runtime normalized to baseline (1.0 = no overhead).
+    pub reunion_norm: f64,
+    /// UnSync runtime normalized to baseline (flat — it has no FI).
+    pub unsync_norm: f64,
+    /// Reunion's average ROB occupancy at this point.
+    pub reunion_rob_occupancy: f64,
+}
+
+/// The paper's Fig. 5 sweep points: FI and comparison latency increased
+/// together from (1, 10) to (30, 40).
+pub const FIG5_POINTS: [(u32, u32); 5] = [(1, 10), (5, 15), (10, 20), (20, 30), (30, 40)];
+
+/// Fig. 5: Reunion's sensitivity to fingerprint interval and comparison
+/// latency. The paper: ammp and galgel degrade steeply (ROB saturation),
+/// reaching −27 % and −41 % at (30, 40); UnSync is flat.
+pub fn fig5(cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig5Cell> {
+    let mut cells = Vec::new();
+    for &(fi, latency) in &FIG5_POINTS {
+        let mut row = per_benchmark(benches, |bench| {
+            let t = trace(bench, cfg);
+            let base = baseline_cycles(bench, cfg) as f64;
+            let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+            let mut hooks =
+                unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, latency));
+            let reunion = unsync_sim::run_stream(
+                CoreConfig::table1(),
+                &mut stream,
+                &mut hooks,
+                unsync_mem::WritePolicy::WriteThrough,
+            );
+            let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
+                .run(&t, &[]);
+            Fig5Cell {
+                bench: bench.name(),
+                fi,
+                latency,
+                reunion_norm: reunion.core.last_commit_cycle as f64 / base,
+                unsync_norm: unsync.cycles as f64 / base,
+                reunion_rob_occupancy: reunion.core.avg_rob_occupancy(),
+            }
+        });
+        cells.append(&mut row);
+    }
+    cells
+}
+
+// ───────────────────────────── Figure 6 ─────────────────────────────────
+
+/// One CB-size point for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// CB size label in bytes (8-byte entries).
+    pub cb_bytes: usize,
+    /// CB entries.
+    pub cb_entries: usize,
+    /// UnSync runtime normalized to baseline.
+    pub unsync_norm: f64,
+    /// Commit cycles lost to a full CB (both cores).
+    pub cb_full_stall_cycles: u64,
+}
+
+/// The paper's Fig. 6 CB sizes (bytes).
+pub const FIG6_SIZES: [usize; 6] = [16, 64, 256, 1024, 2048, 4096];
+
+/// Fig. 6: UnSync runtime across CB sizes. The paper: small CBs stall the
+/// cores; 2 KB / 4 KB buffers eliminate the bottleneck entirely.
+pub fn fig6(cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for &bytes in &FIG6_SIZES {
+        let entries = UnsyncConfig::cb_entries_for_bytes(bytes);
+        let mut row = per_benchmark(benches, |bench| {
+            let t = trace(bench, cfg);
+            let base = baseline_cycles(bench, cfg) as f64;
+            let out = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries))
+                .run(&t, &[]);
+            Fig6Row {
+                bench: bench.name(),
+                cb_bytes: bytes,
+                cb_entries: entries,
+                unsync_norm: out.cycles as f64 / base,
+                cb_full_stall_cycles: out.cb_full_stall_cycles,
+            }
+        });
+        rows.append(&mut row);
+    }
+    rows
+}
+
+// ───────────────────────────── §VI-C: SER sweep ─────────────────────────
+
+/// The IPC-vs-SER extrapolation of §VI-C.
+#[derive(Debug, Clone, Serialize)]
+pub struct SerSweep {
+    /// Swept error rates (errors/instruction).
+    pub rates: Vec<f64>,
+    /// Projected pair IPC for Reunion at each rate.
+    pub reunion_ipc: Vec<f64>,
+    /// Projected pair IPC for UnSync at each rate.
+    pub unsync_ipc: Vec<f64>,
+    /// Error-free cycles (Reunion, UnSync) per `inst_count` instructions.
+    pub error_free_cycles: (f64, f64),
+    /// Measured per-error recovery cost in cycles (Reunion rollback,
+    /// UnSync always-forward state copy).
+    pub per_error_cycles: (f64, f64),
+    /// The measured break-even SER: the rate at which UnSync's cheap
+    /// error-free mode + expensive recovery equals Reunion's costly
+    /// error-free mode + cheap rollback (paper: 1.29e-3).
+    pub break_even: Option<f64>,
+}
+
+/// §VI-C: extrapolates average IPC across SER rates 1e-17 … 1e-3, exactly
+/// as the paper does — measure error-free runtime and per-error recovery
+/// cost, then project. Uses recoverable in-pipeline faults (ROB strikes)
+/// to measure the per-event costs.
+pub fn ser_sweep(cfg: ExperimentConfig, benches: &[Benchmark]) -> SerSweep {
+    // Per-benchmark error-free cycles and per-event costs, averaged.
+    let measures = per_benchmark(benches, |bench| {
+        let t = trace(bench, cfg);
+        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+        let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let r0 = reunion.run(&t, &[]);
+        let u0 = unsync.run(&t, &[]);
+        // Inject K recoverable faults to measure per-event cost.
+        let k = 10u64;
+        let faults: Vec<PairFault> = (0..k)
+            .map(|i| PairFault {
+                at: (i + 1) * cfg.inst_count / (k + 1),
+                core: (i % 2) as usize,
+                site: unsync_fault::FaultSite {
+                    target: FaultTarget::Rob,
+                    bit_offset: 17 + i,
+                }, kind: unsync_fault::FaultKind::Single })
+            .collect();
+        let rk = reunion.run(&t, &faults);
+        let uk = unsync.run(&t, &faults);
+        let r_cost = (rk.cycles.saturating_sub(r0.cycles)) as f64 / k as f64;
+        let u_cost = (uk.cycles.saturating_sub(u0.cycles)) as f64 / k as f64;
+        (r0.cycles as f64, u0.cycles as f64, r_cost, u_cost)
+    });
+    let n = measures.len() as f64;
+    let (mut r0, mut u0, mut rc, mut uc) = (0.0, 0.0, 0.0, 0.0);
+    for (a, b, c, d) in measures {
+        r0 += a / n;
+        u0 += b / n;
+        rc += c / n;
+        uc += d / n;
+    }
+
+    let insts = cfg.inst_count as f64;
+    let mut rates = vec![SerRate::NM90.rate()];
+    for exp in (3..=17).rev() {
+        rates.push(10f64.powi(-exp));
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let project = |t0: f64, cost: f64, rate: f64| insts / (t0 + rate * insts * cost);
+    let reunion_ipc = rates.iter().map(|&r| project(r0, rc, r)).collect();
+    let unsync_ipc = rates.iter().map(|&r| project(u0, uc, r)).collect();
+    // Break-even: u0 + r·N·uc = r0 + r·N·rc  ⇒  r = (u0−r0)/(N(rc−uc)).
+    let break_even = if (uc - rc).abs() > 1e-9 && r0 > u0 {
+        let r = (r0 - u0) / (insts * (uc - rc));
+        (r > 0.0).then_some(r)
+    } else {
+        None
+    };
+    SerSweep {
+        rates,
+        reunion_ipc,
+        unsync_ipc,
+        error_free_cycles: (r0, u0),
+        per_error_cycles: (rc, uc),
+        break_even,
+    }
+}
+
+// ───────────────────────────── §VI-D: ROEC ──────────────────────────────
+
+/// Aggregate fault-injection outcomes for one architecture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RoecArchStats {
+    /// Faults injected.
+    pub injected: u64,
+    /// Runs that ended bit-identical to the golden run.
+    pub correct: u64,
+    /// Faults detected (fingerprint mismatch / hardware detector).
+    pub detected: u64,
+    /// Faults corrected in place (ECC).
+    pub corrected_in_place: u64,
+    /// Unrecoverable outcomes (divergent state rollback cannot fix).
+    pub unrecoverable: u64,
+    /// Faults that produced silently corrupt memory.
+    pub silent_corruptions: u64,
+}
+
+/// The §VI-D region-of-error-coverage comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoecReport {
+    /// Static ROEC fraction (bits covered by a mechanism): UnSync.
+    pub unsync_roec: f64,
+    /// Static ROEC fraction: Reunion.
+    pub reunion_roec: f64,
+    /// Injection outcomes under UnSync.
+    pub unsync: RoecArchStats,
+    /// Injection outcomes under Reunion.
+    pub reunion: RoecArchStats,
+    /// Injection outcomes per fault target under Reunion
+    /// (target, injected, correct).
+    pub reunion_by_target: Vec<(&'static str, u64, u64)>,
+}
+
+fn target_name(t: FaultTarget) -> &'static str {
+    match t {
+        FaultTarget::RegisterFile => "RegisterFile",
+        FaultTarget::Pc => "PC",
+        FaultTarget::PipelineRegs => "PipelineRegs",
+        FaultTarget::Rob => "ROB",
+        FaultTarget::IssueQueue => "IssueQueue",
+        FaultTarget::Lsq => "LSQ",
+        FaultTarget::Tlb => "TLB",
+        FaultTarget::L1Data => "L1Data",
+        FaultTarget::L1Tag => "L1Tag",
+    }
+}
+
+/// §VI-D: injects `campaigns` single faults — stratified across the nine
+/// vulnerable structures so every coverage class is exercised — into each
+/// architecture and verifies program outcomes against the golden run.
+/// TLB strikes are snapped to store instructions (the mistranslated-store
+/// case is the one that escapes Reunion's fingerprint).
+pub fn roec(cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
+    let bench = Benchmark::Gzip;
+    let t = trace(bench, cfg);
+    let targets = unsync_fault::inject::ALL_TARGETS;
+    let faults: Vec<PairFault> =
+        (0..campaigns).map(|i| {
+            let mut f = PairFault::plan(cfg.seed.wrapping_add(0xabcd), i);
+            f.site.target = targets[(i % targets.len() as u64) as usize];
+            f.site.bit_offset %= f.site.target.bits();
+            // Spread strike points over the middle of the trace.
+            f.at = cfg.inst_count / 10 + (i * (cfg.inst_count * 8 / 10)) / campaigns.max(1);
+            if f.site.target == FaultTarget::Tlb {
+                // Snap to the next store so the strike hits a store
+                // translation.
+                if let Some(st) =
+                    t.insts()[f.at as usize..].iter().find(|x| x.op.is_store())
+                {
+                    f.at = st.seq;
+                }
+            }
+            f
+        }).collect();
+
+    let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+    let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+
+    let results = per_benchmark(
+        // Reuse the parallel helper by chunking campaigns over dummy
+        // benchmark slots is awkward; run the two architectures in
+        // parallel instead.
+        &[Benchmark::Gzip, Benchmark::Bzip2],
+        |which| {
+            if which == Benchmark::Gzip {
+                // UnSync campaigns.
+                let mut s = RoecArchStats::default();
+                let mut by_target: Vec<(&'static str, u64, u64)> = Vec::new();
+                for f in &faults {
+                    let out = unsync.run(&t, std::slice::from_ref(f));
+                    s.injected += 1;
+                    s.detected += out.detections;
+                    s.unrecoverable += out.unrecoverable;
+                    s.silent_corruptions += u64::from(!out.memory_matches_golden);
+                    s.correct += u64::from(out.correct());
+                    let name = target_name(f.site.target);
+                    match by_target.iter_mut().find(|(n, _, _)| *n == name) {
+                        Some(e) => {
+                            e.1 += 1;
+                            e.2 += u64::from(out.correct());
+                        }
+                        None => by_target.push((name, 1, u64::from(out.correct()))),
+                    }
+                }
+                (s, by_target)
+            } else {
+                // Reunion campaigns.
+                let mut s = RoecArchStats::default();
+                let mut by_target: Vec<(&'static str, u64, u64)> = Vec::new();
+                for f in &faults {
+                    let out = reunion.run(&t, std::slice::from_ref(f));
+                    s.injected += 1;
+                    s.detected += u64::from(out.mismatches > 0);
+                    s.corrected_in_place += out.corrected_in_place;
+                    s.unrecoverable += out.unrecoverable;
+                    s.silent_corruptions +=
+                        u64::from(out.silent_faults > 0 || !out.memory_matches_golden);
+                    s.correct += u64::from(out.correct());
+                    let name = target_name(f.site.target);
+                    match by_target.iter_mut().find(|(n, _, _)| *n == name) {
+                        Some(e) => {
+                            e.1 += 1;
+                            e.2 += u64::from(out.correct());
+                        }
+                        None => by_target.push((name, 1, u64::from(out.correct()))),
+                    }
+                }
+                (s, by_target)
+            }
+        },
+    );
+
+    RoecReport {
+        unsync_roec: Coverage::unsync().roec_fraction(),
+        reunion_roec: Coverage::reunion().roec_fraction(),
+        unsync: results[0].0,
+        reunion: results[1].0,
+        reunion_by_target: results[1].1.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig { inst_count: 8_000, seed: 1 }
+    }
+
+    #[test]
+    fn fig4_has_all_benchmarks_and_the_paper_shape() {
+        let rows = fig4(quick());
+        assert_eq!(rows.len(), unsync_workloads::Benchmark::all().len());
+        // UnSync is cheaper than Reunion on average.
+        let avg_r: f64 =
+            rows.iter().map(|r| r.reunion_overhead).sum::<f64>() / rows.len() as f64;
+        let avg_u: f64 =
+            rows.iter().map(|r| r.unsync_overhead).sum::<f64>() / rows.len() as f64;
+        assert!(avg_r > avg_u, "reunion {avg_r} vs unsync {avg_u}");
+        assert!(avg_u < 0.05, "unsync must stay near-baseline: {avg_u}");
+    }
+
+    #[test]
+    fn fig5_degrades_with_fi_and_latency() {
+        let cells = fig5(quick(), &[Benchmark::Galgel]);
+        assert_eq!(cells.len(), FIG5_POINTS.len());
+        let first = cells.first().unwrap();
+        let last = cells.last().unwrap();
+        assert!(last.reunion_norm > first.reunion_norm, "{cells:?}");
+        // UnSync does not depend on the FI at all.
+        assert!((last.unsync_norm - first.unsync_norm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_small_cb_is_worse() {
+        let rows = fig6(quick(), &[Benchmark::Rijndael]);
+        let tiny = rows.iter().find(|r| r.cb_bytes == 16).unwrap();
+        let big = rows.iter().find(|r| r.cb_bytes == 4096).unwrap();
+        assert!(tiny.unsync_norm >= big.unsync_norm, "{tiny:?} vs {big:?}");
+        assert!(tiny.cb_full_stall_cycles > big.cb_full_stall_cycles);
+    }
+
+    #[test]
+    fn ser_sweep_is_flat_at_realistic_rates_with_a_break_even() {
+        let s = ser_sweep(quick(), &[Benchmark::Gzip, Benchmark::Sha]);
+        // Flat from 1e-17 to 1e-7 (the paper's observation).
+        let ipc_at = |rate: f64, v: &[f64]| {
+            let i = s.rates.iter().position(|&r| (r - rate).abs() / rate < 1e-6).unwrap();
+            v[i]
+        };
+        let u_lo = ipc_at(1e-17, &s.unsync_ipc);
+        let u_hi = ipc_at(1e-7, &s.unsync_ipc);
+        assert!((u_lo - u_hi).abs() / u_lo < 1e-3, "flat region");
+        // UnSync ahead at realistic rates.
+        assert!(u_lo > ipc_at(1e-17, &s.reunion_ipc));
+        // A break-even exists and is a high (unrealistic) rate.
+        let be = s.break_even.expect("break-even must exist");
+        assert!(be > 1e-7, "break-even {be}");
+    }
+
+    #[test]
+    fn roec_unsync_dominates() {
+        let r = roec(quick(), 12);
+        assert!(r.unsync_roec > r.reunion_roec);
+        assert_eq!(r.unsync.injected, 12);
+        assert_eq!(r.unsync.correct, 12, "UnSync recovers everything: {:?}", r.unsync);
+        assert!(r.reunion.correct <= r.reunion.injected);
+    }
+}

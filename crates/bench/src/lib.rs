@@ -1,0 +1,25 @@
+//! # unsync-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! UnSync paper's evaluation (§V–§VI) from the simulator and hardware
+//! models. Each `table*`/`fig*`/`ser_sweep`/`roec` binary prints the
+//! corresponding artifact; [`experiments`] holds the reusable experiment
+//! drivers and [`render`] the text output.
+//!
+//! Experiments that sweep independent simulations parallelize across
+//! configurations with crossbeam scoped threads; each simulation is
+//! itself single-threaded and deterministic, so results are identical to
+//! a sequential run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod stats;
+
+pub use experiments::{
+    fig4, fig5, fig6, roec, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row,
+    RoecReport, SerSweep,
+};
+pub use stats::{multi_seed, Summary};

@@ -1,0 +1,276 @@
+//! N-way redundancy groups — the paper's configurability claim (§I:
+//! "the number and pairs of redundant cores in the multi-core system can
+//! be conﬁgured by the user, based on reliability and performance
+//! requirements") and §VIII's "varied degrees of redundancy/resilience
+//! trade-offs".
+//!
+//! An [`UnsyncGroup`] runs the same thread on `N ≥ 2` identical cores.
+//! The Communication-Buffer rule generalizes: an entry drains once *all*
+//! `N` cores have produced it (the slowest replica gates eviction), and
+//! recovery copies state from any error-free replica. With `N ≥ 3` the
+//! group additionally survives *simultaneous* faults on `N − 1` replicas
+//! (there is always a clean source), at `N×` the area/power — the
+//! trade-off quantified by `unsync-hwcost`.
+
+use serde::{Deserialize, Serialize};
+use unsync_fault::PairFault;
+use unsync_isa::{golden_run, ArchMemory, ArchState, TraceProgram};
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+
+use crate::cb::GroupCb;
+use crate::config::UnsyncConfig;
+
+/// Outcome of running an N-way redundancy group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// Redundancy degree.
+    pub ways: usize,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Total cycles (slowest replica's last commit).
+    pub cycles: u64,
+    /// Detections and recoveries performed.
+    pub recoveries: u64,
+    /// Faults that could not be recovered (every replica corrupt at
+    /// once — impossible for single faults, possible for bursts wider
+    /// than `N − 1`).
+    pub unrecoverable: u64,
+    /// Whether the final committed memory matches the golden run.
+    pub memory_matches_golden: bool,
+    /// Entries drained through the group CB.
+    pub cb_drained: u64,
+}
+
+impl GroupOutcome {
+    /// Instructions per cycle of the group.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// True if execution was fully correct.
+    pub fn correct(&self) -> bool {
+        self.memory_matches_golden && self.unrecoverable == 0
+    }
+}
+
+/// An N-way UnSync redundancy group.
+///
+/// # Examples
+///
+/// ```
+/// use unsync_core::{UnsyncConfig, UnsyncGroup};
+/// use unsync_sim::CoreConfig;
+/// use unsync_workloads::{Benchmark, WorkloadGen};
+///
+/// let trace = WorkloadGen::new(Benchmark::Sha, 2_000, 1).collect_trace();
+/// let triple = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 3);
+/// let out = triple.run(&trace, &[]);
+/// assert_eq!(out.ways, 3);
+/// assert!(out.correct());
+/// ```
+pub struct UnsyncGroup {
+    ccfg: CoreConfig,
+    ucfg: UnsyncConfig,
+    ways: usize,
+}
+
+impl UnsyncGroup {
+    /// A group of `ways ≥ 2` replicas (write-through L1s).
+    pub fn new(ccfg: CoreConfig, ucfg: UnsyncConfig, ways: usize) -> Self {
+        assert!(ways >= 2, "redundancy requires at least two replicas");
+        ucfg.validate().expect("UnSync config must be valid");
+        UnsyncGroup { ccfg, ucfg, ways }
+    }
+
+    /// Runs `trace` with the given faults (sorted by `at`; `core` indexes
+    /// the replica, `< ways`).
+    pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> GroupOutcome {
+        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
+        assert!(faults.iter().all(|f| f.core < self.ways), "fault core out of range");
+        let n = self.ways;
+        let (_, golden_mem) = golden_run(trace);
+
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), n, WritePolicy::WriteThrough);
+        let mut engines: Vec<OooEngine> =
+            (0..n).map(|c| OooEngine::new(self.ccfg, c)).collect();
+        let mut hooks: Vec<NullHooks> = vec![NullHooks; n];
+        let mut arch: Vec<ArchState> = (0..n).map(|_| ArchState::new()).collect();
+        let mut committed_mem = ArchMemory::new();
+        let mut cb = GroupCb::new(self.ucfg.cb_entries, n);
+
+        let mut out = GroupOutcome {
+            ways: n,
+            committed: 0,
+            cycles: 0,
+            recoveries: 0,
+            unrecoverable: 0,
+            memory_matches_golden: false,
+            cb_drained: 0,
+        };
+
+        let insts = trace.insts();
+        let mut next_fault = 0usize;
+        for (i, inst) in insts.iter().enumerate() {
+            let seq = i as u64;
+            let mut store_values: Vec<u64> = Vec::new();
+            for (core, engine) in engines.iter_mut().enumerate() {
+                let timing = engine.feed(inst, &mut mem, &mut hooks[core]);
+                // Functional execution against the shared committed
+                // memory (the group stays in virtual lockstep per
+                // instruction, so forwarding simplifies to immediate
+                // visibility of the group's agreed store values).
+                let addr = inst.mem.map(|m| m.addr).unwrap_or(0);
+                let loaded = inst.op.is_load().then(|| committed_mem.read(addr));
+                let result = arch[core].compute(inst, loaded);
+                if let Some(d) = inst.arch_dest() {
+                    arch[core].write(d, result);
+                }
+                if inst.op.is_store() {
+                    store_values.push(result);
+                    let done = cb.push(core, seq, addr / 64, timing.commit, &mut mem);
+                    if done > timing.commit {
+                        engine.backpressure_until(done);
+                    }
+                }
+            }
+            if inst.op.is_store() {
+                // All replicas produced the store this iteration; commit
+                // one copy architecturally.
+                let addr = inst.mem.expect("store").addr;
+                committed_mem.write(addr, store_values[0]);
+            }
+            out.committed += 1;
+
+            // Faults: detected by the per-element hardware; recovery
+            // copies from any error-free replica.
+            while next_fault < faults.len() && faults[next_fault].at == seq {
+                let mut struck = vec![false; n];
+                while next_fault < faults.len() && faults[next_fault].at == seq {
+                    struck[faults[next_fault].core] = true;
+                    next_fault += 1;
+                }
+                let Some(good) = struck.iter().position(|&s| !s) else {
+                    // Every replica struck simultaneously: no clean source.
+                    out.unrecoverable += 1;
+                    continue;
+                };
+                let now = engines.iter().map(|e| e.now()).max().unwrap_or(0);
+                let stall_start = now
+                    + self.ucfg.detection_latency as u64
+                    + self.ucfg.eih_latency as u64
+                    + self.ucfg.flush_cycles as u64;
+                let word_beats = mem.config().word_transfer_beats() as u64;
+                let l1_lines = mem.l1d(good).valid_lines() as u64;
+                // Each erroneous replica receives the state + L1 copy.
+                let bad_count = struck.iter().filter(|&&s| s).count() as u64;
+                let recovery_end = stall_start
+                    + bad_count * (2 * 64 * word_beats + mem.l1_copy_cost(l1_lines));
+                let good_state = arch[good].clone();
+                let good_l1 = mem.l1d(good).clone();
+                for (core, &s) in struck.iter().enumerate() {
+                    if s {
+                        arch[core].copy_from(&good_state);
+                        *mem.l1d_mut(core) = good_l1.clone();
+                    }
+                }
+                for e in engines.iter_mut() {
+                    e.stall_until(recovery_end);
+                }
+                out.recoveries += 1;
+            }
+        }
+
+        out.cycles = engines.iter().map(|e| e.now()).max().unwrap_or(0);
+        out.cb_drained = cb.drained;
+        out.memory_matches_golden = out.unrecoverable == 0
+            && golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_fault::{FaultSite, FaultTarget};
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    fn trace(n: u64) -> TraceProgram {
+        WorkloadGen::new(Benchmark::Gzip, n, 21).collect_trace()
+    }
+
+    fn fault(at: u64, core: usize) -> PairFault {
+        PairFault {
+            at,
+            core,
+            site: FaultSite { target: FaultTarget::RegisterFile, bit_offset: 67 }, kind: unsync_fault::FaultKind::Single }
+    }
+
+    #[test]
+    fn two_way_group_matches_pair_semantics() {
+        let t = trace(5_000);
+        let g = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 2);
+        let out = g.run(&t, &[]);
+        assert_eq!(out.committed, 5_000);
+        assert!(out.correct(), "{out:?}");
+        assert!(out.cb_drained > 0);
+    }
+
+    #[test]
+    fn more_ways_cost_more_cycles_but_still_run() {
+        let t = trace(5_000);
+        let cycles: Vec<u64> = [2usize, 3, 4]
+            .iter()
+            .map(|&n| {
+                let g = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), n);
+                let out = g.run(&t, &[]);
+                assert!(out.correct(), "{n}-way: {out:?}");
+                out.cycles
+            })
+            .collect();
+        // The slowest of N replicas can only get slower as N grows.
+        assert!(cycles[1] >= cycles[0]);
+        assert!(cycles[2] >= cycles[0]);
+    }
+
+    #[test]
+    fn three_way_survives_a_double_strike_two_way_cannot_source() {
+        let t = trace(4_000);
+        // Both replicas of a 2-way group struck at once: no clean source.
+        let faults2 = [fault(1_000, 0), fault(1_000, 1)];
+        let g2 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 2);
+        let out2 = g2.run(&t, &faults2);
+        assert_eq!(out2.unrecoverable, 1);
+        assert!(!out2.correct());
+        // A 3-way group has a surviving replica to copy from.
+        let g3 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 3);
+        let out3 = g3.run(&t, &faults2);
+        assert_eq!(out3.unrecoverable, 0);
+        assert_eq!(out3.recoveries, 1);
+        assert!(out3.correct(), "{out3:?}");
+    }
+
+    #[test]
+    fn single_faults_recover_at_any_width() {
+        let t = trace(3_000);
+        for ways in 2..=4 {
+            for core in 0..ways {
+                let g =
+                    UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), ways);
+                let out = g.run(&t, &[fault(800, core)]);
+                assert_eq!(out.recoveries, 1, "{ways}-way, core {core}");
+                assert!(out.correct(), "{ways}-way, core {core}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_way_rejected() {
+        let _ = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 1);
+    }
+}

@@ -1,0 +1,738 @@
+//! The UnSync core pair: unsynchronized redundant execution with
+//! always-forward recovery.
+//!
+//! The pair runner interleaves two [`unsync_sim::OooEngine`]s at
+//! instruction granularity over a shared [`unsync_mem::MemSystem`].
+//! Committed write-through stores enter the [`crate::cb::PairedCb`]; a
+//! full CB back-pressures its core's commit. There is **no** output
+//! comparison anywhere — correctness rests on the per-element hardware
+//! detection blocks ([`unsync_fault::Coverage::unsync`]).
+//!
+//! On a detected error (§III-A recovery procedure):
+//! 1. both cores stop (EIH latency);
+//! 2. the erroneous core's pipeline is flushed;
+//! 3. architectural state and L1 content of the error-free core are
+//!    copied over through the shared L2;
+//! 4. in-flight CB drains complete, further ones pause;
+//! 5. the erroneous core's CB is overwritten from the error-free one;
+//! 6. both cores resume from the error-free core's PC — *always
+//!    forward*, no re-execution.
+
+use serde::{Deserialize, Serialize};
+use unsync_fault::{DetectionMechanism, FaultKind, FaultTarget, PairFault};
+use unsync_isa::{golden_run, ArchMemory, ArchState, TraceProgram};
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+
+use crate::cb::PairedCb;
+use crate::config::UnsyncConfig;
+
+/// Result of running an UnSync pair to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnsyncOutcome {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Total cycles (slower core's last commit).
+    pub cycles: u64,
+    /// Errors detected by the hardware blocks.
+    pub detections: u64,
+    /// Always-forward recoveries performed.
+    pub recoveries: u64,
+    /// Total cycles spent stalled in recovery.
+    pub recovery_stall_cycles: u64,
+    /// Unrecoverable events (only possible in the write-back L1
+    /// ablation — the Fig. 2 scenario).
+    pub unrecoverable: u64,
+    /// Faults that escaped detection entirely (zero by construction with
+    /// UnSync's full-coverage detection placement).
+    pub silent_faults: u64,
+    /// Strikes on dead values that never needed detection
+    /// ([`crate::config::DetectionTiming::OnFirstUse`] only).
+    pub benign_faults: u64,
+    /// Single-bit strikes corrected in place by a SECDED L1
+    /// ([`crate::config::L1Protection::Secded`] only) — no pair recovery
+    /// needed.
+    pub corrected_in_place: u64,
+    /// Whether the final committed memory image matches the fault-free
+    /// golden run.
+    pub memory_matches_golden: bool,
+    /// Stores drained to the L2 (one copy per matched CB pair).
+    pub cb_drained: u64,
+    /// Commit cycles lost to a full CB (both cores).
+    pub cb_full_stall_cycles: u64,
+}
+
+impl UnsyncOutcome {
+    /// Instructions per cycle of the pair.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// True if execution was fully correct.
+    pub fn correct(&self) -> bool {
+        self.memory_matches_golden && self.silent_faults == 0 && self.unrecoverable == 0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    seq: u64,
+    addr: u64,
+    value: [u64; 2],
+    present: [bool; 2],
+}
+
+/// The UnSync redundant core pair.
+///
+/// # Examples
+///
+/// ```
+/// use unsync_core::{UnsyncConfig, UnsyncPair};
+/// use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
+/// use unsync_sim::CoreConfig;
+/// use unsync_workloads::{Benchmark, WorkloadGen};
+///
+/// let trace = WorkloadGen::new(Benchmark::Gzip, 3_000, 7).collect_trace();
+/// let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+///
+/// // Error-free execution is bit-correct against the golden run.
+/// assert!(pair.run(&trace, &[]).correct());
+///
+/// // A register-file strike is detected and recovered always-forward.
+/// let fault = PairFault {
+///     at: 1_000,
+///     core: 0,
+///     site: FaultSite { target: FaultTarget::RegisterFile, bit_offset: 67 },
+///     kind: FaultKind::Single,
+/// };
+/// let out = pair.run(&trace, &[fault]);
+/// assert_eq!(out.recoveries, 1);
+/// assert!(out.correct());
+/// ```
+pub struct UnsyncPair {
+    ccfg: CoreConfig,
+    ucfg: UnsyncConfig,
+    l1_policy: WritePolicy,
+}
+
+impl UnsyncPair {
+    /// A pair with the paper's write-through L1 (§III-C1).
+    pub fn new(ccfg: CoreConfig, ucfg: UnsyncConfig) -> Self {
+        ucfg.validate().expect("UnSync config must be valid");
+        UnsyncPair { ccfg, ucfg, l1_policy: WritePolicy::WriteThrough }
+    }
+
+    /// The write-back ablation of Fig. 2 — demonstrates why the paper
+    /// *requires* write-through: a second strike on a dirty line of the
+    /// error-free core during recovery is unrecoverable.
+    pub fn with_write_back_l1(ccfg: CoreConfig, ucfg: UnsyncConfig) -> Self {
+        ucfg.validate().expect("UnSync config must be valid");
+        UnsyncPair { ccfg, ucfg, l1_policy: WritePolicy::WriteBack }
+    }
+
+    /// Runs `trace` to completion with the given faults (sorted by `at`).
+    pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> UnsyncOutcome {
+        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
+        let (_, golden_mem) = golden_run(trace);
+
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, self.l1_policy);
+        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
+        let mut hooks = [NullHooks, NullHooks];
+        let mut arch = [ArchState::new(), ArchState::new()];
+        let mut committed_mem = ArchMemory::new();
+        let mut cb = PairedCb::with_policy(self.ucfg.cb_entries, self.ucfg.drain_policy);
+        let mut pending: Vec<PendingStore> = Vec::new();
+
+        let mut out = UnsyncOutcome {
+            committed: 0,
+            cycles: 0,
+            detections: 0,
+            recoveries: 0,
+            recovery_stall_cycles: 0,
+            unrecoverable: 0,
+            silent_faults: 0,
+            benign_faults: 0,
+            corrected_in_place: 0,
+            memory_matches_golden: false,
+            cb_drained: 0,
+            cb_full_stall_cycles: 0,
+        };
+
+        let insts = trace.insts();
+        let mut next_fault = 0usize;
+        // End cycle of the most recent recovery, and which core was the
+        // error-free source — the Fig. 2 hazard window.
+        let mut recovery_window: Option<(u64, usize)> = None;
+
+        // Under read-triggered detection, register-file strikes defer to
+        // the struck register's next read (and become benign if the value
+        // dies unread): rewrite their strike points up front.
+        let mut fault_list: Vec<PairFault> = faults.to_vec();
+        let mut benign = 0u64;
+        if self.ucfg.detection_timing == crate::config::DetectionTiming::OnFirstUse {
+            fault_list.retain_mut(|f| {
+                if f.site.target != FaultTarget::RegisterFile {
+                    return true;
+                }
+                let reg_idx = (f.site.bit_offset / 64) as usize % 64;
+                let mut overwritten = false;
+                for inst in &insts[f.at as usize..] {
+                    if inst.sources().any(|r| r.index() == reg_idx) {
+                        f.at = inst.seq;
+                        return true;
+                    }
+                    if inst.arch_dest().is_some_and(|d| d.index() == reg_idx) {
+                        overwritten = true;
+                        break;
+                    }
+                }
+                let _ = overwritten;
+                benign += 1;
+                false
+            });
+            fault_list.sort_by_key(|f| f.at);
+        }
+        let faults: &[PairFault] = &fault_list;
+        out.benign_faults = benign;
+
+        for (i, inst) in insts.iter().enumerate() {
+            let seq = i as u64;
+            for core in 0..2 {
+                let timing = engines[core].feed(inst, &mut mem, &mut hooks[core]);
+
+                // ── Functional execution ───────────────────────────────
+                let addr = inst.mem.map(|m| m.addr).unwrap_or(0);
+                let loaded = if inst.op.is_load() {
+                    let fwd = pending
+                        .iter()
+                        .rev()
+                        .find(|p| p.present[core] && p.addr == (addr & !7))
+                        .map(|p| p.value[core]);
+                    Some(fwd.unwrap_or_else(|| committed_mem.read(addr)))
+                } else {
+                    None
+                };
+                let result = arch[core].compute(inst, loaded);
+                if let Some(d) = inst.arch_dest() {
+                    arch[core].write(d, result);
+                }
+
+                if inst.op.is_store() {
+                    // Functional: record this core's copy.
+                    match pending.iter_mut().find(|p| p.seq == seq) {
+                        Some(p) => {
+                            p.value[core] = result;
+                            p.present[core] = true;
+                        }
+                        None => {
+                            let mut p = PendingStore {
+                                seq,
+                                addr: addr & !7,
+                                value: [result; 2],
+                                present: [false; 2],
+                            };
+                            p.present[core] = true;
+                            pending.push(p);
+                        }
+                    }
+                    // Timing: the write-through copy enters this core's CB.
+                    let line = addr / 64;
+                    let done = cb.push(core, seq, line, timing.commit, &mut mem);
+                    if done > timing.commit {
+                        engines[core].backpressure_until(done);
+                    }
+                    match self.ucfg.drain_policy {
+                        crate::cb::DrainPolicy::BothComplete => {
+                            // Both sides present ⇒ one copy is
+                            // architecturally committed (drain scheduled
+                            // inside `push`).
+                            if let Some(pos) = pending
+                                .iter()
+                                .position(|p| p.seq == seq && p.present[0] && p.present[1])
+                            {
+                                let p = pending.remove(pos);
+                                committed_mem.write(p.addr, p.value[0]);
+                            }
+                        }
+                        crate::cb::DrainPolicy::Eager => {
+                            // The FIRST copy already left for the L2. If
+                            // the second copy disagrees, the disagreement
+                            // is discovered too late: the wrong value may
+                            // be architectural (silent-corruption window).
+                            let p = pending.iter().find(|p| p.seq == seq).expect("pushed");
+                            if !(p.present[0] && p.present[1]) {
+                                committed_mem.write(p.addr, p.value[core]);
+                            } else {
+                                if p.value[0] != p.value[1] {
+                                    out.silent_faults += 1;
+                                }
+                                let addr = p.addr;
+                                pending.retain(|q| q.seq != seq);
+                                let _ = addr;
+                            }
+                        }
+                    }
+                }
+            }
+            out.committed += 1;
+
+            // ── Faults striking this instruction ───────────────────────
+            while next_fault < faults.len() && faults[next_fault].at == seq {
+                let f = faults[next_fault];
+                next_fault += 1;
+                let bad = f.core;
+                let good = bad ^ 1;
+
+                // Fig. 2 hazard: write-back L1, second strike hits the
+                // error-free core's L1 while its dirty lines are the only
+                // correct copy (a recovery is in flight sourcing from it).
+                if self.l1_policy == WritePolicy::WriteBack {
+                    if let Some((window_end, source)) = recovery_window {
+                        let now = engines[0].now().max(engines[1].now());
+                        let strikes_l1 = matches!(
+                            f.site.target,
+                            FaultTarget::L1Data | FaultTarget::L1Tag
+                        );
+                        if now <= window_end
+                            && bad == source
+                            && strikes_l1
+                            && mem.l1d(source).dirty_lines() > 0
+                        {
+                            out.detections += 1;
+                            out.unrecoverable += 1;
+                            continue;
+                        }
+                    }
+                }
+
+                // Eager-drain hazard: if the struck instruction was a
+                // store whose (corrupted) value already left for the L2
+                // on the first push, detection fires too late — the
+                // wrong value is architectural. The paper's both-complete
+                // rule closes exactly this window.
+                if self.ucfg.drain_policy == crate::cb::DrainPolicy::Eager
+                    && inst.op.is_store()
+                    && bad == 0
+                    && matches!(f.site.target, FaultTarget::Lsq | FaultTarget::L1Data)
+                {
+                    let addr = inst.mem.expect("store").addr & !7;
+                    let corrupt = committed_mem.read(addr) ^ (1 << (f.site.bit_offset % 64));
+                    committed_mem.write(addr, corrupt);
+                    out.silent_faults += 1;
+                }
+
+                // Which mechanism guards the struck structure, given the
+                // configured L1 code (§III-B1 placement).
+                let mechanism = match f.site.target {
+                    FaultTarget::Pc | FaultTarget::PipelineRegs => DetectionMechanism::Dmr,
+                    FaultTarget::L1Data | FaultTarget::L1Tag => {
+                        match self.ucfg.l1_protection {
+                            crate::config::L1Protection::LineParity => {
+                                DetectionMechanism::Parity
+                            }
+                            crate::config::L1Protection::Secded => DetectionMechanism::Secded,
+                        }
+                    }
+                    _ => DetectionMechanism::Parity,
+                };
+
+                // Adjacent double-bit upsets flip an even number of bits:
+                // invisible to 1-bit parity (the §VIII multi-bit hole),
+                // detected by DMR (any difference) and SECDED.
+                if f.kind == FaultKind::AdjacentDouble
+                    && mechanism == DetectionMechanism::Parity
+                {
+                    // Undetected: the corruption becomes architectural.
+                    match f.site.target {
+                        FaultTarget::RegisterFile => {
+                            let reg = (f.site.bit_offset / 64) as usize % 64;
+                            let bit = (f.site.bit_offset % 63) as u32;
+                            let regs = arch[bad].regs_mut();
+                            regs[reg] ^= 0b11 << bit;
+                        }
+                        _ => {
+                            // Data-array class: a stale line in memory.
+                            let addr = (f.site.bit_offset & !7) % (1 << 20);
+                            let v = committed_mem.read(0x1000_0000 + addr);
+                            committed_mem
+                                .write(0x1000_0000 + addr, v ^ (0b11 << (f.site.bit_offset % 63)));
+                        }
+                    }
+                    out.silent_faults += 1;
+                    continue;
+                }
+
+                // Single strikes on a SECDED L1 are corrected in place —
+                // no recovery, no stall beyond the codec.
+                if f.kind == FaultKind::Single
+                    && mechanism == DetectionMechanism::Secded
+                {
+                    out.detections += 1;
+                    out.corrected_in_place += 1;
+                    continue;
+                }
+
+                // Apply the corruption to the struck core's state. (The
+                // recovery below erases it; modelling it keeps the
+                // correctness check honest.)
+                if f.site.target == FaultTarget::RegisterFile {
+                    let reg = (f.site.bit_offset / 64) as usize % 64;
+                    let bit = (f.site.bit_offset % 64) as u32;
+                    arch[bad].regs_mut()[reg] ^= 1 << bit;
+                }
+                for p in pending.iter_mut() {
+                    if f.site.target == FaultTarget::Lsq && p.present[bad] {
+                        p.value[bad] ^= 1 << (f.site.bit_offset % 64);
+                    }
+                }
+
+                // Every strike is detected (full-coverage placement).
+                out.detections += 1;
+                let recovery_end = self.recover(
+                    bad,
+                    &mut engines,
+                    &mut arch,
+                    &mut cb,
+                    &mut pending,
+                    &mut committed_mem,
+                    &mut mem,
+                    &mut out,
+                );
+                recovery_window = Some((recovery_end, good));
+            }
+        }
+
+        out.cycles = engines[0].now().max(engines[1].now());
+        out.cb_drained = cb.drained;
+        out.cb_full_stall_cycles =
+            cb.stats[0].full_stall_cycles + cb.stats[1].full_stall_cycles;
+        out.memory_matches_golden = out.unrecoverable == 0
+            && golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+        out
+    }
+
+    /// The §III-A always-forward recovery procedure. Returns the cycle at
+    /// which both cores resume.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        bad: usize,
+        engines: &mut [OooEngine; 2],
+        arch: &mut [ArchState; 2],
+        cb: &mut PairedCb,
+        pending: &mut Vec<PendingStore>,
+        committed_mem: &mut ArchMemory,
+        mem: &mut MemSystem,
+        out: &mut UnsyncOutcome,
+    ) -> u64 {
+        let good = bad ^ 1;
+        let now = engines[0].now().max(engines[1].now());
+        // 1: detection fires, the EIH signals RECOVERY, both cores stop.
+        let stall_start =
+            now + self.ucfg.detection_latency as u64 + self.ucfg.eih_latency as u64;
+        // 2: flush the erroneous pipeline.
+        let flushed = stall_start + self.ucfg.flush_cycles as u64;
+        // 3: copy architectural state (and, in the paper's design, the
+        // L1 content) through the shared L2.
+        let word_beats = mem.config().word_transfer_beats() as u64;
+        let reg_copy = 2 * 64 * word_beats; // 64 registers out and back in
+        let l1_copy = match self.ucfg.recovery_mode {
+            crate::config::RecoveryMode::CopyL1 => {
+                mem.l1_copy_cost(mem.l1d(good).valid_lines() as u64)
+            }
+            // Invalidate-only: no bulk transfer; the cost reappears as
+            // demand misses after resume.
+            crate::config::RecoveryMode::InvalidateOnly => 0,
+        };
+        // 4 & 5: in-flight CB drains complete; the erroneous CB is
+        // overwritten from the error-free one.
+        cb.overwrite_from(good, flushed, mem);
+        let recovery_end = flushed + reg_copy + l1_copy;
+
+        // Functional recovery: the erroneous core receives the error-free
+        // core's architectural state (and, via the CB overwrite, its
+        // pending store values).
+        let good_state = arch[good].clone();
+        arch[bad].copy_from(&good_state);
+        for p in pending.iter_mut() {
+            if p.present[good] {
+                p.value[bad] = p.value[good];
+                p.present[bad] = true;
+            } else if p.present[bad] {
+                // The erroneous side's unmatched entries are overwritten;
+                // the good core will still produce them — drop the bad
+                // copy's value and let the good one define the pair.
+                p.present[bad] = false;
+            }
+        }
+        // Newly matched stores commit architecturally.
+        pending.retain(|p| {
+            if p.present[0] && p.present[1] {
+                committed_mem.write(p.addr, p.value[good]);
+                false
+            } else {
+                true
+            }
+        });
+        match self.ucfg.recovery_mode {
+            crate::config::RecoveryMode::CopyL1 => {
+                // The erroneous L1 was replaced wholesale by the copy.
+                let good_l1 = mem.l1d(good).clone();
+                *mem.l1d_mut(bad) = good_l1;
+            }
+            crate::config::RecoveryMode::InvalidateOnly => {
+                mem.l1d_mut(bad).invalidate_all();
+            }
+        }
+
+        // 6: both cores resume.
+        for e in engines.iter_mut() {
+            e.stall_until(recovery_end);
+        }
+        out.recoveries += 1;
+        out.recovery_stall_cycles += recovery_end - now;
+        recovery_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_fault::FaultSite;
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    fn trace(n: u64, seed: u64) -> TraceProgram {
+        WorkloadGen::new(Benchmark::Gzip, n, seed).collect_trace()
+    }
+
+    fn pair() -> UnsyncPair {
+        UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
+    }
+
+    fn fault(at: u64, core: usize, target: FaultTarget, bit: u64) -> PairFault {
+        PairFault { at, core, site: FaultSite { target, bit_offset: bit } , kind: unsync_fault::FaultKind::Single }
+    }
+
+    #[test]
+    fn error_free_run_is_correct_and_complete() {
+        let t = trace(3_000, 1);
+        let out = pair().run(&t, &[]);
+        assert_eq!(out.committed, 3_000);
+        assert_eq!(out.detections, 0);
+        assert_eq!(out.recoveries, 0);
+        assert!(out.correct(), "{out:?}");
+        assert!(out.cb_drained > 0, "stores must drain through the CB");
+    }
+
+    #[test]
+    fn every_fault_target_is_detected_and_recovered() {
+        use unsync_fault::inject::ALL_TARGETS;
+        for (k, &target) in ALL_TARGETS.iter().enumerate() {
+            let t = trace(2_000, 2);
+            let faults = [fault(600 + k as u64, k % 2, target, 37 + k as u64)];
+            let out = pair().run(&t, &faults);
+            assert_eq!(out.detections, 1, "{target:?}");
+            assert_eq!(out.recoveries, 1, "{target:?}");
+            assert_eq!(out.silent_faults, 0, "{target:?}");
+            assert!(out.correct(), "{target:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn register_file_fault_is_recovered_unlike_reunion() {
+        // The §VI-D contrast: the exact fault class that defeats Reunion
+        // (ARF strike read in a later interval) is a plain recovery here.
+        let t = trace(2_000, 3);
+        let faults = [fault(100, 1, FaultTarget::RegisterFile, 5 * 64 + 3)];
+        let out = pair().run(&t, &faults);
+        assert_eq!(out.recoveries, 1);
+        assert!(out.correct(), "{out:?}");
+    }
+
+    #[test]
+    fn recovery_costs_many_cycles() {
+        // "Our recovery mechanism has a higher overhead" (§I) — the
+        // whole-L1 copy dominates.
+        let t = trace(5_000, 4);
+        let clean = pair().run(&t, &[]);
+        let faults = [fault(2_500, 0, FaultTarget::Lsq, 11)];
+        let faulty = pair().run(&t, &faults);
+        assert!(faulty.cycles > clean.cycles + 1_000, "{} vs {}", faulty.cycles, clean.cycles);
+        assert!(faulty.recovery_stall_cycles > 1_000);
+        assert!(faulty.correct());
+    }
+
+    #[test]
+    fn small_cb_stalls_store_heavy_workloads() {
+        // The Fig. 6 mechanism.
+        let t = WorkloadGen::new(Benchmark::Qsort, 10_000, 5).collect_trace();
+        let tiny = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(2))
+            .run(&t, &[]);
+        let large = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(512))
+            .run(&t, &[]);
+        assert!(
+            tiny.cb_full_stall_cycles > large.cb_full_stall_cycles,
+            "tiny {} vs large {}",
+            tiny.cb_full_stall_cycles,
+            large.cb_full_stall_cycles
+        );
+        // Allow tiny scheduling perturbations; the stall comparison above
+        // is the real invariant.
+        assert!(tiny.cycles as f64 >= large.cycles as f64 * 0.98);
+    }
+
+    #[test]
+    fn write_back_double_strike_is_unrecoverable() {
+        // Fig. 2: error on core 0; during the recovery window a second
+        // strike hits the error-free core 1's dirty L1 line.
+        let t = trace(4_000, 6);
+        let faults = [
+            fault(1_000, 0, FaultTarget::RegisterFile, 3),
+            fault(1_000, 1, FaultTarget::L1Data, 999),
+        ];
+        let wb = UnsyncPair::with_write_back_l1(CoreConfig::table1(), UnsyncConfig::default())
+            .run(&t, &faults);
+        assert_eq!(wb.unrecoverable, 1, "{wb:?}");
+        assert!(!wb.correct());
+        // The same double strike under write-through is just two
+        // recoveries: the L2 always holds a correct copy.
+        let wt = pair().run(&t, &faults);
+        assert_eq!(wt.unrecoverable, 0);
+        assert_eq!(wt.recoveries, 2);
+        assert!(wt.correct(), "{wt:?}");
+    }
+
+    #[test]
+    fn unsync_is_near_baseline_on_serializing_workloads() {
+        // The Fig. 4 contrast: bzip2's 2 % serializing instructions barely
+        // affect UnSync (no synchronization to wait for).
+        use unsync_sim::run_baseline;
+        let mut stream = WorkloadGen::new(Benchmark::Bzip2, 20_000, 7);
+        let base = run_baseline(CoreConfig::table1(), &mut stream);
+        let t = WorkloadGen::new(Benchmark::Bzip2, 20_000, 7).collect_trace();
+        let us = pair().run(&t, &[]);
+        let overhead = us.cycles as f64 / base.core.last_commit_cycle as f64 - 1.0;
+        assert!(overhead < 0.10, "UnSync overhead on bzip2 = {overhead}");
+    }
+
+    #[test]
+    fn adjacent_double_upsets_defeat_line_parity_but_not_secded() {
+        use crate::config::L1Protection;
+        let t = trace(4_000, 15);
+        let mbu = PairFault {
+            at: 1_500,
+            core: 0,
+            site: FaultSite { target: FaultTarget::L1Data, bit_offset: 4096 },
+            kind: FaultKind::AdjacentDouble,
+        };
+        // The paper's 1-bit line parity: even flips are invisible.
+        let parity = pair().run(&t, &[mbu]);
+        assert_eq!(parity.silent_faults, 1, "{parity:?}");
+        assert_eq!(parity.recoveries, 0);
+        assert!(!parity.correct());
+        // The §VIII upgrade: SECDED detects the double and recovery runs.
+        let cfg = UnsyncConfig {
+            l1_protection: L1Protection::Secded,
+            ..UnsyncConfig::paper_baseline()
+        };
+        let secded = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &[mbu]);
+        assert_eq!(secded.silent_faults, 0);
+        assert_eq!(secded.recoveries, 1);
+        assert!(secded.correct(), "{secded:?}");
+        // And single strikes on SECDED are corrected in place for free.
+        let single = PairFault { kind: FaultKind::Single, ..mbu };
+        let in_place = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &[single]);
+        assert_eq!(in_place.corrected_in_place, 1);
+        assert_eq!(in_place.recoveries, 0);
+        assert!(in_place.correct());
+    }
+
+    #[test]
+    fn eager_drain_reopens_the_silent_corruption_window() {
+        // Find a store instruction to strike with an LSQ fault.
+        let t = trace(4_000, 12);
+        let store_at = t
+            .insts()
+            .iter()
+            .find(|i| i.op.is_store() && i.seq > 500)
+            .map(|i| i.seq)
+            .expect("trace has stores");
+        let faults = [fault(store_at, 0, FaultTarget::Lsq, 23)];
+        // The paper's both-complete policy: detected, recovered, correct.
+        let safe = pair().run(&t, &faults);
+        assert!(safe.correct(), "{safe:?}");
+        // Eager drain: the corrupt value beats detection to the L2.
+        let mut cfg = UnsyncConfig::paper_baseline();
+        cfg.drain_policy = crate::cb::DrainPolicy::Eager;
+        let eager = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
+        assert!(eager.silent_faults > 0, "{eager:?}");
+        assert!(!eager.correct());
+    }
+
+    #[test]
+    fn read_triggered_detection_skips_dead_values_and_catches_live_ones() {
+        use crate::config::DetectionTiming;
+        use unsync_isa::{Inst, OpClass, Reg};
+        // Craft: r1 written at 0, read at 20; r2 written at 1, overwritten
+        // at 10 without any read.
+        let mut insts: Vec<Inst> = Vec::new();
+        insts.push(Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(20)).finish());
+        insts.push(Inst::build(OpClass::IntAlu).seq(1).pc(4).dest(Reg::int(2)).src0(Reg::int(20)).finish());
+        for i in 2..20u64 {
+            let d = if i == 10 { 2 } else { 10 + (i % 4) as u8 };
+            insts.push(Inst::build(OpClass::IntAlu).seq(i).pc(i * 4).dest(Reg::int(d)).src0(Reg::int(21)).finish());
+        }
+        insts.push(Inst::build(OpClass::IntAlu).seq(20).pc(80).dest(Reg::int(12)).src0(Reg::int(1)).finish());
+        for i in 21..40u64 {
+            insts.push(Inst::build(OpClass::IntAlu).seq(i).pc(i * 4).dest(Reg::int(13)).src0(Reg::int(21)).finish());
+        }
+        let t = TraceProgram::new(insts);
+        let cfg = UnsyncConfig {
+            detection_timing: DetectionTiming::OnFirstUse,
+            ..UnsyncConfig::paper_baseline()
+        };
+        // Strike r1 at instruction 2 (live: read at 20) and r2 at
+        // instruction 3 (dead: overwritten at 10 unread).
+        let faults = [
+            fault(2, 0, FaultTarget::RegisterFile, 64 + 5),     // r1
+            fault(3, 1, FaultTarget::RegisterFile, 2 * 64 + 9), // r2
+        ];
+        let out = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
+        assert_eq!(out.benign_faults, 1, "{out:?}");
+        assert_eq!(out.recoveries, 1, "only the live strike recovers");
+        assert!(out.correct(), "{out:?}");
+        // Immediate timing charges both.
+        let strict = pair().run(&t, &faults);
+        assert_eq!(strict.recoveries, 2);
+        assert!(strict.correct());
+    }
+
+    #[test]
+    fn invalidate_only_recovery_is_cheaper_per_event_but_still_correct() {
+        use crate::config::RecoveryMode;
+        let t = trace(8_000, 14);
+        let faults = [fault(4_000, 0, FaultTarget::RegisterFile, 9)];
+        let copy = pair().run(&t, &faults);
+        let mut cfg = UnsyncConfig::paper_baseline();
+        cfg.recovery_mode = RecoveryMode::InvalidateOnly;
+        let inval = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
+        assert!(copy.correct() && inval.correct());
+        assert!(
+            inval.recovery_stall_cycles < copy.recovery_stall_cycles,
+            "invalidate {} vs copy {}",
+            inval.recovery_stall_cycles,
+            copy.recovery_stall_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let t = trace(1_500, 8);
+        let faults = [fault(700, 0, FaultTarget::Rob, 5)];
+        assert_eq!(pair().run(&t, &faults), pair().run(&t, &faults));
+    }
+}

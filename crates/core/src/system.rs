@@ -1,0 +1,214 @@
+//! Multi-pair UnSync systems — the paper's Fig. 1 topology: a CMP hosts
+//! several *core-pairs*, each redundantly executing its own thread, all
+//! sharing the ECC-protected L2. The Table I machine (4 logical cores)
+//! is two UnSync pairs.
+//!
+//! This runner measures what pairing does at the *system* level: each
+//! pair's CB drains and demand fills contend for the shared L2 (and its
+//! MSHRs) against the other pairs' traffic.
+
+use serde::{Deserialize, Serialize};
+use unsync_isa::TraceProgram;
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+
+use crate::cb::PairedCb;
+use crate::config::UnsyncConfig;
+
+/// Per-pair results of a system run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemPairStats {
+    /// Pair index.
+    pub pair: usize,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Cycles (slower core of the pair).
+    pub cycles: u64,
+    /// Stores drained through the pair's CB.
+    pub cb_drained: u64,
+    /// Commit cycles lost to a full CB.
+    pub cb_full_stall_cycles: u64,
+    /// Cross-pair coherence invalidations absorbed (both cores).
+    pub invalidations: u64,
+}
+
+impl SystemPairStats {
+    /// The pair's IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Whole-system results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemOutcome {
+    /// Per-pair statistics.
+    pub pairs: Vec<SystemPairStats>,
+    /// Shared-L2 miss rate over all traffic.
+    pub l2_miss_rate: f64,
+}
+
+/// An UnSync CMP of `P` core-pairs over one shared memory system.
+pub struct UnsyncSystem {
+    ccfg: CoreConfig,
+    ucfg: UnsyncConfig,
+}
+
+impl UnsyncSystem {
+    /// A system with the given core and UnSync configurations.
+    pub fn new(ccfg: CoreConfig, ucfg: UnsyncConfig) -> Self {
+        ucfg.validate().expect("UnSync config must be valid");
+        UnsyncSystem { ccfg, ucfg }
+    }
+
+    /// Runs one trace per pair (error-free), all pairs sharing the L2.
+    /// Pair `p` occupies cores `2p` and `2p+1`.
+    pub fn run(&self, traces: &[TraceProgram]) -> SystemOutcome {
+        assert!(!traces.is_empty(), "at least one pair");
+        let pairs = traces.len();
+        let mut mem =
+            MemSystem::new(HierarchyConfig::table1(), 2 * pairs, WritePolicy::WriteThrough);
+        let mut engines: Vec<[OooEngine; 2]> = (0..pairs)
+            .map(|p| {
+                [OooEngine::new(self.ccfg, 2 * p), OooEngine::new(self.ccfg, 2 * p + 1)]
+            })
+            .collect();
+        let mut hooks = NullHooks;
+        let mut cbs: Vec<PairedCb> = (0..pairs)
+            .map(|p| {
+                PairedCb::for_cores(self.ucfg.cb_entries, self.ucfg.drain_policy, 2 * p)
+            })
+            .collect();
+
+        // Interleave pairs in wall-clock order: always advance the pair
+        // whose cores are furthest behind, so requests reach the shared
+        // L2 (whose MSHR bookkeeping assumes roughly non-decreasing
+        // times) in realistic order even when one pair runs much faster
+        // than another.
+        let mut idx = vec![0usize; pairs];
+        loop {
+            let next = (0..pairs)
+                .filter(|&p| idx[p] < traces[p].len())
+                .min_by_key(|&p| engines[p][0].now().max(engines[p][1].now()));
+            let Some(p) = next else { break };
+            let inst = &traces[p].insts()[idx[p]];
+            let seq = idx[p] as u64;
+            for (side, engine) in engines[p].iter_mut().enumerate() {
+                let timing = engine.feed(inst, &mut mem, &mut hooks);
+                if inst.op.is_store() {
+                    let line = inst.mem.expect("store").addr / 64;
+                    let done = cbs[p].push(side, seq, line, timing.commit, &mut mem);
+                    if done > timing.commit {
+                        engine.backpressure_until(done);
+                    }
+                }
+            }
+            idx[p] += 1;
+        }
+
+        let stats = (0..pairs)
+            .map(|p| SystemPairStats {
+                pair: p,
+                committed: traces[p].len() as u64,
+                cycles: engines[p][0].now().max(engines[p][1].now()),
+                cb_drained: cbs[p].drained,
+                cb_full_stall_cycles: cbs[p].stats[0].full_stall_cycles
+                    + cbs[p].stats[1].full_stall_cycles,
+                invalidations: mem.invalidations(2 * p) + mem.invalidations(2 * p + 1),
+            })
+            .collect();
+        SystemOutcome { pairs: stats, l2_miss_rate: mem.l2_stats().miss_rate() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    #[test]
+    fn single_pair_system_matches_pair_scale() {
+        let t = WorkloadGen::new(Benchmark::Gzip, 10_000, 3).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let out = sys.run(std::slice::from_ref(&t));
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].committed, 10_000);
+        assert!(out.pairs[0].ipc() > 0.01);
+    }
+
+    #[test]
+    fn two_pairs_run_independent_workloads() {
+        let ta = WorkloadGen::new(Benchmark::Sha, 10_000, 3).collect_trace();
+        let tb = WorkloadGen::new(Benchmark::Mcf, 10_000, 3).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let out = sys.run(&[ta, tb]);
+        assert_eq!(out.pairs.len(), 2);
+        // sha (cache-resident) must sustain much higher IPC than mcf.
+        assert!(out.pairs[0].ipc() > 4.0 * out.pairs[1].ipc());
+    }
+
+    #[test]
+    fn l2_contention_slows_a_pair_down() {
+        // The same workload, alone vs. next to an L2-thrashing neighbour.
+        // Distinct address spaces: the neighbour is another process.
+        let t = WorkloadGen::new_at(Benchmark::Equake, 15_000, 5, 0x1000_0000).collect_trace();
+        let hog = WorkloadGen::new_at(Benchmark::Mcf, 15_000, 6, 0x9000_0000).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let alone = sys.run(std::slice::from_ref(&t)).pairs[0].cycles;
+        let contended = sys.run(&[t, hog]).pairs[0].cycles;
+        assert!(
+            contended >= alone,
+            "shared-L2 contention cannot speed the pair up: {contended} vs {alone}"
+        );
+    }
+
+    #[test]
+    fn overlapping_address_spaces_cause_coherence_traffic() {
+        // Two pairs sharing one data segment: each pair's drains
+        // invalidate the other's cached copies.
+        let ta = WorkloadGen::new(Benchmark::Qsort, 8_000, 5).collect_trace();
+        let tb = WorkloadGen::new(Benchmark::Qsort, 8_000, 6).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let shared = sys.run(&[ta, tb]);
+        assert!(
+            shared.pairs.iter().any(|p| p.invalidations > 0),
+            "{:?}",
+            shared.pairs
+        );
+        // Disjoint address spaces: none.
+        let tc = WorkloadGen::new_at(Benchmark::Qsort, 8_000, 5, 0x1000_0000).collect_trace();
+        let td = WorkloadGen::new_at(Benchmark::Qsort, 8_000, 6, 0x9000_0000).collect_trace();
+        let disjoint = sys.run(&[tc, td]);
+        assert!(disjoint.pairs.iter().all(|p| p.invalidations == 0));
+    }
+
+    #[test]
+    fn pairs_of_different_lengths_all_complete() {
+        let short = WorkloadGen::new_at(Benchmark::Sha, 2_000, 1, 0x1000_0000).collect_trace();
+        let long = WorkloadGen::new_at(Benchmark::Gzip, 9_000, 2, 0x9000_0000).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let out = sys.run(&[short, long]);
+        assert_eq!(out.pairs[0].committed, 2_000);
+        assert_eq!(out.pairs[1].committed, 9_000);
+        assert!(out.pairs[1].cycles > out.pairs[0].cycles);
+    }
+
+    #[test]
+    fn deterministic_system_runs() {
+        let ta = WorkloadGen::new(Benchmark::Qsort, 5_000, 1).collect_trace();
+        let tb = WorkloadGen::new(Benchmark::Fft, 5_000, 2).collect_trace();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        assert_eq!(sys.run(&[ta.clone(), tb.clone()]), sys.run(&[ta, tb]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_system_rejected() {
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        let _ = sys.run(&[]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # unsync-fault
+//!
+//! Soft-error machinery for the UnSync reproduction:
+//!
+//! * **Detection primitives, implemented at the bit level** — the hardware
+//!   mechanisms §III-B1 of the paper places in each core:
+//!   - [`parity`]: 1-bit even parity (storage elements with ≥1 cycle
+//!     between write and read: register file, LSQ, TLB, L1 data).
+//!   - [`dmr`]: dual-modular redundancy compare (every-cycle elements: PC,
+//!     pipeline registers) and a TMR voter for the ablations.
+//!   - [`secded`]: Hamming(72,64) single-error-correct /
+//!     double-error-detect code (the ECC the shared L2 — and Reunion's
+//!     L1 — carry).
+//!   - [`crc`]: the parallel CRC-16 *fingerprint* generator Reunion
+//!     compares between vocal and mute cores.
+//! * **Error arrival model** ([`ser`]): deterministic, seeded
+//!   per-instruction soft-error arrivals at a configurable SER, with the
+//!   FIT-rate conversions used in §VI-C.
+//! * **Injection planning and coverage accounting** ([`inject`]): which
+//!   architectural element an error strikes, which mechanism (if any)
+//!   detects it under each architecture, and the resulting *region of
+//!   error coverage* (ROEC, §VI-D).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avf;
+pub mod crc;
+pub mod dmr;
+pub mod inject;
+pub mod parity;
+pub mod scrub;
+pub mod secded;
+pub mod ser;
+
+pub use avf::{AvfEstimate, SdcDueSplit};
+pub use crc::{crc16_word, Fingerprint, CRC16_CCITT_POLY};
+pub use dmr::{DmrReg, TmrReg};
+pub use inject::{Coverage, DetectionMechanism, FaultKind, FaultSite, FaultTarget, InjectionPlan, PairFault};
+pub use parity::{parity_bit, ParityLine, ParityWord};
+pub use scrub::ScrubModel;
+pub use secded::{SecdedCodeword, SecdedOutcome};
+pub use ser::{ErrorArrivals, SerRate};

@@ -1,0 +1,429 @@
+//! Instruction streams and trace statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::Inst;
+use crate::op::{OpClass, ALL_OP_CLASSES};
+
+/// A source of dynamic instructions.
+///
+/// Implementors are *replayable*: [`InstStream::reset`] rewinds to the
+/// first instruction so the same trace can drive the baseline, Reunion and
+/// UnSync simulations, and both cores of a redundant pair.
+pub trait InstStream {
+    /// Returns the next instruction, or `None` at end of trace.
+    fn next_inst(&mut self) -> Option<Inst>;
+
+    /// Rewinds the stream to its first instruction.
+    fn reset(&mut self);
+
+    /// Total number of instructions the stream will yield, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A materialized instruction trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceProgram {
+    insts: Vec<Inst>,
+    cursor: usize,
+}
+
+impl TraceProgram {
+    /// Wraps a vector of instructions.
+    ///
+    /// # Panics
+    /// Panics if any instruction fails [`Inst::validate`] or if sequence
+    /// numbers are not `0, 1, 2, …`.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        for (i, inst) in insts.iter().enumerate() {
+            if let Err(e) = inst.validate() {
+                panic!("invalid trace: {e}");
+            }
+            assert_eq!(inst.seq, i as u64, "trace sequence numbers must be dense from 0");
+        }
+        TraceProgram { insts, cursor: 0 }
+    }
+
+    /// Collects a stream into a materialized trace.
+    pub fn from_stream<S: InstStream>(stream: &mut S) -> Self {
+        let mut insts = Vec::with_capacity(stream.len_hint().unwrap_or(0) as usize);
+        while let Some(i) = stream.next_inst() {
+            insts.push(i);
+        }
+        TraceProgram::new(insts)
+    }
+
+    /// The underlying instructions.
+    #[inline]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions in the trace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_insts(&self.insts)
+    }
+}
+
+impl InstStream for TraceProgram {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let inst = self.insts.get(self.cursor).copied();
+        if inst.is_some() {
+            self.cursor += 1;
+        }
+        inst
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.insts.len() as u64)
+    }
+}
+
+/// Summary statistics of a trace — the knobs the paper's evaluation cites
+/// (serializing fraction, store intensity, branch behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total instructions.
+    pub total: u64,
+    /// Count per operation class, indexed by position in
+    /// [`ALL_OP_CLASSES`].
+    pub per_class: [u64; 12],
+    /// Mispredicted dynamic branches.
+    pub mispredicted_branches: u64,
+    /// Distinct 64-byte cache lines touched by loads/stores.
+    pub distinct_lines: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics from a slice of instructions.
+    pub fn from_insts(insts: &[Inst]) -> Self {
+        let mut stats = TraceStats { total: insts.len() as u64, ..Default::default() };
+        let mut lines = std::collections::BTreeSet::new();
+        for inst in insts {
+            let idx = ALL_OP_CLASSES.iter().position(|&c| c == inst.op).expect("known class");
+            stats.per_class[idx] += 1;
+            if inst.is_mispredicted_branch() {
+                stats.mispredicted_branches += 1;
+            }
+            if let Some(m) = inst.mem {
+                lines.insert(m.addr >> 6);
+            }
+        }
+        stats.distinct_lines = lines.len() as u64;
+        stats
+    }
+
+    /// Count of instructions of class `op`.
+    #[inline]
+    pub fn count(&self, op: OpClass) -> u64 {
+        let idx = ALL_OP_CLASSES.iter().position(|&c| c == op).expect("known class");
+        self.per_class[idx]
+    }
+
+    /// Fraction of instructions of class `op` (0 if the trace is empty).
+    #[inline]
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(op) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of serializing instructions (traps + memory barriers) —
+    /// the statistic Fig. 4 of the paper keys on (bzip2 2 %, ammp 1.7 %,
+    /// galgel 1 %).
+    #[inline]
+    pub fn serializing_fraction(&self) -> f64 {
+        self.fraction(OpClass::Trap) + self.fraction(OpClass::MemBarrier)
+    }
+
+    /// Fraction of stores — the statistic Fig. 6 (CB pressure) keys on.
+    #[inline]
+    pub fn store_fraction(&self) -> f64 {
+        self.fraction(OpClass::Store)
+    }
+
+    /// Branch misprediction rate over dynamic branches (0 if no branches).
+    #[inline]
+    pub fn mispredict_rate(&self) -> f64 {
+        let branches = self.count(OpClass::Branch);
+        if branches == 0 {
+            0.0
+        } else {
+            self.mispredicted_branches as f64 / branches as f64
+        }
+    }
+}
+
+/// Concatenates two streams (program A, then program B — e.g. a warmup
+/// prefix followed by the region of interest).
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+    in_second: bool,
+    /// Sequence numbers are re-densified across the seam.
+    next_seq: u64,
+}
+
+impl<A: InstStream, B: InstStream> Chain<A, B> {
+    /// Chains `first` then `second`.
+    pub fn new(first: A, second: B) -> Self {
+        Chain { first, second, in_second: false, next_seq: 0 }
+    }
+}
+
+impl<A: InstStream, B: InstStream> InstStream for Chain<A, B> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let mut inst = if self.in_second {
+            self.second.next_inst()?
+        } else {
+            match self.first.next_inst() {
+                Some(i) => i,
+                None => {
+                    self.in_second = true;
+                    self.second.next_inst()?
+                }
+            }
+        };
+        inst.seq = self.next_seq;
+        self.next_seq += 1;
+        Some(inst)
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+        self.in_second = false;
+        self.next_seq = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.first.len_hint()? + self.second.len_hint()?)
+    }
+}
+
+/// Alternates between two streams instruction-by-instruction (a crude
+/// SMT-style mix; sequence numbers are re-densified). Ends when both
+/// streams end.
+#[derive(Debug, Clone)]
+pub struct Interleave<A, B> {
+    a: A,
+    b: B,
+    take_from_a: bool,
+    next_seq: u64,
+}
+
+impl<A: InstStream, B: InstStream> Interleave<A, B> {
+    /// Interleaves `a` and `b`, starting with `a`.
+    pub fn new(a: A, b: B) -> Self {
+        Interleave { a, b, take_from_a: true, next_seq: 0 }
+    }
+}
+
+impl<A: InstStream, B: InstStream> InstStream for Interleave<A, B> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let mut inst = if self.take_from_a {
+            self.a.next_inst().or_else(|| self.b.next_inst())?
+        } else {
+            self.b.next_inst().or_else(|| self.a.next_inst())?
+        };
+        self.take_from_a = !self.take_from_a;
+        inst.seq = self.next_seq;
+        self.next_seq += 1;
+        Some(inst)
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+        self.take_from_a = true;
+        self.next_seq = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.a.len_hint()? + self.b.len_hint()?)
+    }
+}
+
+/// Truncates a stream to its first `limit` instructions.
+#[derive(Debug, Clone)]
+pub struct Take<S> {
+    inner: S,
+    limit: u64,
+    taken: u64,
+}
+
+impl<S: InstStream> Take<S> {
+    /// Takes at most `limit` instructions from `inner`.
+    pub fn new(inner: S, limit: u64) -> Self {
+        Take { inner, limit, taken: 0 }
+    }
+}
+
+impl<S: InstStream> InstStream for Take<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.taken >= self.limit {
+            return None;
+        }
+        let inst = self.inner.next_inst()?;
+        self.taken += 1;
+        Some(inst)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.taken = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.inner.len_hint()?.min(self.limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BranchInfo, MemInfo};
+    use crate::reg::Reg;
+
+    fn tiny_trace() -> TraceProgram {
+        let insts = vec![
+            Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(2)).finish(),
+            Inst::build(OpClass::Load)
+                .seq(1)
+                .pc(4)
+                .dest(Reg::int(2))
+                .src0(Reg::int(1))
+                .mem(MemInfo::dword(0x40))
+                .finish(),
+            Inst::build(OpClass::Store)
+                .seq(2)
+                .pc(8)
+                .src0(Reg::int(2))
+                .mem(MemInfo::dword(0x80))
+                .finish(),
+            Inst::build(OpClass::Branch)
+                .seq(3)
+                .pc(12)
+                .src0(Reg::int(1))
+                .branch(BranchInfo { taken: true, mispredicted: true, target: 0 })
+                .finish(),
+            Inst::build(OpClass::Trap).seq(4).pc(16).finish(),
+        ];
+        TraceProgram::new(insts)
+    }
+
+    #[test]
+    fn stream_yields_in_order_and_resets() {
+        let mut t = tiny_trace();
+        assert_eq!(t.len_hint(), Some(5));
+        let mut seqs = Vec::new();
+        while let Some(i) = t.next_inst() {
+            seqs.push(i.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert!(t.next_inst().is_none());
+        t.reset();
+        assert_eq!(t.next_inst().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let s = tiny_trace().stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.count(OpClass::IntAlu), 1);
+        assert_eq!(s.count(OpClass::Load), 1);
+        assert_eq!(s.count(OpClass::Store), 1);
+        assert_eq!(s.count(OpClass::Branch), 1);
+        assert_eq!(s.count(OpClass::Trap), 1);
+        assert!((s.serializing_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.store_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(s.distinct_lines, 2);
+    }
+
+    #[test]
+    fn from_stream_round_trips() {
+        let mut t = tiny_trace();
+        let u = TraceProgram::from_stream(&mut t);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.insts()[3].op, OpClass::Branch);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_sequence_numbers_panic() {
+        let insts =
+            vec![Inst::build(OpClass::IntAlu).seq(1).dest(Reg::int(1)).finish()];
+        let _ = TraceProgram::new(insts);
+    }
+
+    #[test]
+    fn chain_concatenates_and_redensifies() {
+        let a = tiny_trace();
+        let b = tiny_trace();
+        let mut c = Chain::new(a, b);
+        assert_eq!(c.len_hint(), Some(10));
+        let collected = TraceProgram::from_stream(&mut c);
+        assert_eq!(collected.len(), 10);
+        // from_stream validates dense sequence numbers 0..10.
+        assert_eq!(collected.insts()[5].seq, 5);
+        c.reset();
+        assert_eq!(c.next_inst().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn take_truncates_and_resets() {
+        let mut t = Take::new(tiny_trace(), 3);
+        assert_eq!(t.len_hint(), Some(3));
+        let collected = TraceProgram::from_stream(&mut t);
+        assert_eq!(collected.len(), 3);
+        t.reset();
+        let again = TraceProgram::from_stream(&mut t);
+        assert_eq!(collected.insts(), again.insts());
+        // Limit past the end is harmless.
+        let mut big = Take::new(tiny_trace(), 99);
+        assert_eq!(TraceProgram::from_stream(&mut big).len(), 5);
+    }
+
+    #[test]
+    fn interleave_alternates_and_drains_the_longer_tail() {
+        let a = tiny_trace(); // 5 insts
+        let b = TraceProgram::new(vec![Inst::build(OpClass::Nop).seq(0).finish()]);
+        let mut i = Interleave::new(a, b);
+        let t = TraceProgram::from_stream(&mut i);
+        assert_eq!(t.len(), 6);
+        // Second instruction came from stream b (the single Nop).
+        assert_eq!(t.insts()[1].op, OpClass::Nop);
+        i.reset();
+        assert_eq!(TraceProgram::from_stream(&mut i).insts(), t.insts());
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceProgram::new(vec![]).stats();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.serializing_fraction(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Tight lockstep — the mainframe discipline the paper's §II opens with
+//! (IBM S/390 G5, z990): two cores execute cycle-by-cycle in step, every
+//! result compared as it is produced.
+//!
+//! Lockstep needs no fingerprints, no CSB and no recovery protocol
+//! design (a mismatch simply replays from the duplicated front end), but
+//! it pays the *coupling* cost continuously: the pair advances at the
+//! pace of whichever core is momentarily slower, so every cache-bank
+//! conflict, DRAM-refresh hiccup or arbiter stall on either core is paid
+//! by both. "While conceptually simple, lock-step becomes an increasing
+//! burden as device scaling continues" — this model quantifies that
+//! burden against UnSync's fully decoupled pair.
+
+use serde::{Deserialize, Serialize};
+use unsync_isa::TraceProgram;
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+
+/// Outcome of a lockstep pair run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockstepOutcome {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles lost re-synchronizing the momentarily faster core.
+    pub coupling_stall_cycles: u64,
+}
+
+impl LockstepOutcome {
+    /// Instructions per cycle of the pair.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A tightly lockstepped redundant pair.
+pub struct LockstepPair {
+    ccfg: CoreConfig,
+    /// Re-synchronization granularity in instructions (1 = classic
+    /// per-retirement compare; a few = checker-window lockstep).
+    pub window: u64,
+}
+
+impl LockstepPair {
+    /// A per-retirement lockstep pair.
+    pub fn new(ccfg: CoreConfig) -> Self {
+        LockstepPair { ccfg, window: 1 }
+    }
+
+    /// Runs `trace` (error-free; lockstep's error handling is an
+    /// immediate replay and is not the interesting axis here).
+    pub fn run(&self, trace: &TraceProgram) -> LockstepOutcome {
+        assert!(self.window >= 1);
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
+        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
+        let mut hooks = [NullHooks, NullHooks];
+        let mut coupling = 0u64;
+        // Lockstep's retirement clock advances by the *slower* core's
+        // per-window commit delta: the pair pays every hiccup of either
+        // core, while a decoupled pair pays only max(total_A, total_B).
+        let mut locked_clock = 0u64;
+        let mut prev = [0u64; 2];
+        for (i, inst) in trace.insts().iter().enumerate() {
+            for core in 0..2 {
+                engines[core].feed(inst, &mut mem, &mut hooks[core]);
+            }
+            if (i as u64 + 1).is_multiple_of(self.window) {
+                let d0 = engines[0].now() - prev[0];
+                let d1 = engines[1].now() - prev[1];
+                locked_clock += d0.max(d1);
+                prev = [engines[0].now(), engines[1].now()];
+            }
+        }
+        locked_clock += (engines[0].now() - prev[0]).max(engines[1].now() - prev[1]);
+        let decoupled = engines[0].now().max(engines[1].now());
+        coupling += locked_clock.saturating_sub(decoupled);
+        LockstepOutcome {
+            committed: trace.len() as u64,
+            cycles: locked_clock,
+            coupling_stall_cycles: coupling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    #[test]
+    fn lockstep_runs_and_pays_coupling() {
+        let t = WorkloadGen::new(Benchmark::Gzip, 10_000, 2).collect_trace();
+        let out = LockstepPair::new(CoreConfig::table1()).run(&t);
+        assert_eq!(out.committed, 10_000);
+        assert!(out.coupling_stall_cycles > 0, "drift must force re-syncs");
+    }
+
+    #[test]
+    fn lockstep_is_slower_than_an_unsynchronized_pair_would_be() {
+        // Coupling every retirement serializes both cores' hiccups; an
+        // uncoupled run of the same cores finishes no later than the
+        // lockstepped one.
+        let t = WorkloadGen::new(Benchmark::Qsort, 10_000, 2).collect_trace();
+        let locked = LockstepPair::new(CoreConfig::table1()).run(&t);
+        let free = {
+            let mut mem =
+                MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
+            let mut engines =
+                [OooEngine::new(CoreConfig::table1(), 0), OooEngine::new(CoreConfig::table1(), 1)];
+            let mut hooks = [NullHooks, NullHooks];
+            for inst in t.insts() {
+                for core in 0..2 {
+                    engines[core].feed(inst, &mut mem, &mut hooks[core]);
+                }
+            }
+            engines[0].now().max(engines[1].now())
+        };
+        assert!(locked.cycles >= free, "{} vs {free}", locked.cycles);
+    }
+
+    #[test]
+    fn wider_windows_couple_less() {
+        let t = WorkloadGen::new(Benchmark::Bzip2, 10_000, 2).collect_trace();
+        let tight = LockstepPair::new(CoreConfig::table1()).run(&t);
+        let mut loose_pair = LockstepPair::new(CoreConfig::table1());
+        loose_pair.window = 64;
+        let loose = loose_pair.run(&t);
+        assert!(loose.coupling_stall_cycles <= tight.coupling_stall_cycles);
+    }
+}

@@ -1,0 +1,556 @@
+//! A full vocal/mute Reunion pair with functional state and faults.
+//!
+//! Where [`crate::hooks::ReunionHooks`] models only *timing*, the pair
+//! executes the program functionally on both cores, folds real results
+//! into real CRC-16 fingerprints, compares them at every interval
+//! boundary, and performs rollback recovery on mismatch. Fault injection
+//! then demonstrates the §VI-D region-of-error-coverage boundary
+//! concretely:
+//!
+//! * in-pipeline strikes (ROB, IQ, LSQ, pipeline registers, PC) corrupt
+//!   one instruction's result → the next fingerprint comparison catches
+//!   them and rollback re-executes cleanly;
+//! * L1 strikes are absorbed by the (assumed) SECDED ECC;
+//! * architectural-register strikes land *outside* the fingerprint
+//!   window: the cores' register files diverge permanently, every
+//!   subsequent interval touching the value mismatches, and rollback —
+//!   which restores each core's *own* snapshot, corruption included —
+//!   cannot converge. Reunion has no mechanism to repair them;
+//! * a TLB strike on a store's translation silently writes memory at the
+//!   wrong address — the fingerprint summarizes (pc, result), not store
+//!   addresses, so nothing ever fires.
+
+use serde::{Deserialize, Serialize};
+use unsync_fault::{FaultTarget, Fingerprint, PairFault};
+use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, OooEngine};
+
+use crate::config::ReunionConfig;
+use crate::hooks::ReunionHooks;
+
+/// How many consecutive mismatching re-executions of one interval before
+/// the pair declares the error unrecoverable (divergent architectural
+/// state).
+const MAX_ROLLBACK_RETRIES: u32 = 3;
+
+/// Result of running a redundant pair to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Committed (verified) instructions.
+    pub committed: u64,
+    /// Total cycles (slower core's last commit).
+    pub cycles: u64,
+    /// Fingerprint mismatches observed.
+    pub mismatches: u64,
+    /// Rollback recoveries performed.
+    pub rollbacks: u64,
+    /// Errors absorbed in place by ECC (L1 strikes under Reunion).
+    pub corrected_in_place: u64,
+    /// Intervals abandoned as unrecoverable (divergent architectural
+    /// state that rollback cannot repair).
+    pub unrecoverable: u64,
+    /// Faults that produced *no* detectable signal at all (e.g. silent
+    /// wrong-address stores from TLB strikes).
+    pub silent_faults: u64,
+    /// Loads that observed an incoherent value under relaxed input
+    /// replication (each triggers a mismatch + re-issue).
+    pub incoherent_loads: u64,
+    /// Whether the final committed memory image matches the fault-free
+    /// golden run bit for bit.
+    pub memory_matches_golden: bool,
+}
+
+impl PairOutcome {
+    /// Instructions per cycle of the pair (committed work over the slower
+    /// core's cycles).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// True if execution was fully correct: nothing escaped silently and
+    /// memory matches the golden image.
+    pub fn correct(&self) -> bool {
+        self.memory_matches_golden && self.silent_faults == 0 && self.unrecoverable == 0
+    }
+}
+
+/// One pending (unverified) store.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    addr: [u64; 2],
+    value: [u64; 2],
+}
+
+/// The vocal/mute Reunion pair.
+///
+/// # Examples
+///
+/// ```
+/// use unsync_reunion::{ReunionConfig, ReunionPair};
+/// use unsync_sim::CoreConfig;
+/// use unsync_workloads::{Benchmark, WorkloadGen};
+///
+/// let trace = WorkloadGen::new(Benchmark::Gzip, 3_000, 7).collect_trace();
+/// let pair = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+/// let out = pair.run(&trace, &[]);
+/// assert_eq!(out.committed, 3_000);
+/// assert!(out.correct());
+/// ```
+pub struct ReunionPair {
+    rcfg: ReunionConfig,
+    ccfg: CoreConfig,
+}
+
+impl ReunionPair {
+    /// A pair with the given core and Reunion configurations.
+    pub fn new(ccfg: CoreConfig, rcfg: ReunionConfig) -> Self {
+        rcfg.validate().expect("Reunion config must be valid");
+        ReunionPair { rcfg, ccfg }
+    }
+
+    /// Runs `trace` to completion with the given faults (empty slice =
+    /// error-free execution). Faults must be sorted by `at`.
+    pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> PairOutcome {
+        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
+        let (_, golden_mem) = golden_run(trace);
+
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
+        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
+        let mut hooks = [ReunionHooks::new(self.rcfg), ReunionHooks::new(self.rcfg)];
+        // The mute core does not release stores (single-instance release).
+        hooks[1].release_stores = false;
+        let mut arch = [ArchState::new(), ArchState::new()];
+        let mut committed_mem = ArchMemory::new();
+
+        let mut out = PairOutcome {
+            committed: 0,
+            cycles: 0,
+            mismatches: 0,
+            rollbacks: 0,
+            corrected_in_place: 0,
+            unrecoverable: 0,
+            silent_faults: 0,
+            incoherent_loads: 0,
+            memory_matches_golden: false,
+        };
+
+        let insts = trace.insts();
+        let mut next_fault = 0usize;
+        let mut i = 0usize;
+        while i < insts.len() {
+            // ── Collect the next interval ──────────────────────────────
+            let start = i;
+            let mut end = i;
+            while end < insts.len() {
+                let inst = &insts[end];
+                end += 1;
+                if (end - start) >= self.rcfg.fingerprint_interval as usize
+                    || inst.op.is_serializing()
+                {
+                    break;
+                }
+            }
+
+            // Faults striking inside this interval (consumed on first
+            // execution only — single-event upsets are transient; only
+            // their *state* effects persist).
+            let mut interval_faults: Vec<PairFault> = Vec::new();
+            while next_fault < faults.len() && faults[next_fault].at < end as u64 {
+                debug_assert!(faults[next_fault].at >= start as u64);
+                interval_faults.push(faults[next_fault]);
+                next_fault += 1;
+            }
+
+            // ── Execute the interval, retrying on mismatch ─────────────
+            let snapshot = [arch[0].clone(), arch[1].clone()];
+            let mut attempt = 0u32;
+            loop {
+                let mut fps = [Fingerprint::new(), Fingerprint::new()];
+                let mut pending: Vec<(u64, PendingStore)> = Vec::new();
+                for (k, inst) in insts[start..end].iter().enumerate() {
+                    let seq = (start + k) as u64;
+                    for core in 0..2 {
+                        engines[core].feed(inst, &mut mem, &mut hooks[core]);
+                        self.exec_functional(
+                            inst,
+                            core,
+                            seq,
+                            &mut arch,
+                            &committed_mem,
+                            &mut pending,
+                            &mut fps,
+                            if attempt == 0 { &interval_faults } else { &[] },
+                            attempt == 0,
+                            &mut out,
+                        );
+                    }
+                }
+                // Cross-core coupling: the fingerprint comparison finishes
+                // only after the *slower* core produced its half. Extend
+                // both cores' verification (and, for a serializing cut,
+                // the rendezvous) to the common time.
+                let common = hooks[0].last_verify.max(hooks[1].last_verify);
+                let v0 = hooks[0].patch_last_verify(common);
+                let v1 = hooks[1].patch_last_verify(common);
+                debug_assert_eq!(v0, v1);
+                if insts[end - 1].op.is_serializing() {
+                    let resume = common + self.rcfg.serialize_sync_penalty as u64;
+                    engines[0].raise_dispatch_floor(resume);
+                    engines[1].raise_dispatch_floor(resume);
+                }
+                if fps[0].peek() == fps[1].peek() {
+                    // Verified: release one instance of each store.
+                    for (_, st) in &pending {
+                        committed_mem.write(st.addr[0], st.value[0]);
+                    }
+                    out.committed += (end - start) as u64;
+                    break;
+                }
+                out.mismatches += 1;
+                attempt += 1;
+                if attempt > MAX_ROLLBACK_RETRIES {
+                    // Divergent architectural state: rollback restores
+                    // each core's own (corrupt) snapshot and can never
+                    // converge. Abandon checking for this interval and
+                    // resynchronize the registers so the run can proceed —
+                    // exactly the silent-corruption hazard §VI-D ascribes
+                    // to Reunion's limited ROEC.
+                    out.unrecoverable += 1;
+                    let resync = arch[0].clone();
+                    arch[1].copy_from(&resync);
+                    for (_, st) in &pending {
+                        committed_mem.write(st.addr[0], st.value[0]);
+                    }
+                    out.committed += (end - start) as u64;
+                    break;
+                }
+                // Rollback: squash, restore the interval-start snapshot,
+                // re-execute.
+                out.rollbacks += 1;
+                let now = engines[0].now().max(engines[1].now())
+                    + self.rcfg.rollback_penalty as u64;
+                for core in 0..2 {
+                    engines[core].flush_pipeline(now);
+                    arch[core].copy_from(&snapshot[core]);
+                }
+            }
+            i = end;
+        }
+
+        out.cycles = engines[0].now().max(engines[1].now());
+        // Verify against the golden image: every word the golden run wrote
+        // must match the pair's committed memory.
+        out.memory_matches_golden =
+            golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+        out
+    }
+
+    /// Functionally executes `inst` on `core`, applying any fault that
+    /// strikes it, and folds the result into the core's fingerprint.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_functional(
+        &self,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        arch: &mut [ArchState; 2],
+        committed_mem: &ArchMemory,
+        pending: &mut Vec<(u64, PendingStore)>,
+        fps: &mut [Fingerprint; 2],
+        faults: &[PairFault],
+        first_attempt: bool,
+        out: &mut PairOutcome,
+    ) -> u64 {
+        let fault =
+            faults.iter().find(|f| f.at == seq && f.core == core).map(|f| f.site);
+
+        // Pre-execution persistent-state faults.
+        if let Some(site) = fault {
+            match site.target {
+                FaultTarget::RegisterFile => {
+                    // Persistent flip in this core's architectural
+                    // register file — outside Reunion's ROEC.
+                    let reg = (site.bit_offset / 64) as usize % 64;
+                    let bit = (site.bit_offset % 64) as u32;
+                    let regs = arch[core].regs_mut();
+                    regs[reg] ^= 1 << bit;
+                }
+                FaultTarget::L1Data | FaultTarget::L1Tag => {
+                    // Reunion's L1 carries SECDED: corrected in place.
+                    out.corrected_in_place += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // Effective address (a TLB strike on a store mistranslates it —
+        // silently, since fingerprints do not cover addresses).
+        let mut addr = inst.mem.map(|m| m.addr).unwrap_or(0);
+        let mut silent_addr_fault = false;
+        if let Some(site) = fault {
+            if site.target == FaultTarget::Tlb && inst.op.is_store() {
+                addr ^= 64 << (site.bit_offset % 16); // line-granular mistranslation
+                silent_addr_fault = true;
+                out.silent_faults += 1;
+            }
+        }
+
+        // Load value: own pending stores first (store forwarding), then
+        // committed memory. Under relaxed input replication the two
+        // cores load *independently*; with some probability the mute
+        // core observes a value another processor updated in between —
+        // "input incoherence", which Reunion treats as a transient error
+        // (§II). The re-issue after rollback reads coherently (the
+        // corruption applies on the first attempt only, like faults).
+        let loaded = if inst.op.is_load() {
+            let fwd = pending
+                .iter()
+                .rev()
+                .find(|(_, st)| st.addr[core] == (addr & !7))
+                .map(|(_, st)| st.value[core]);
+            let mut v = fwd.unwrap_or_else(|| committed_mem.read(addr));
+            if core == 1 && first_attempt && self.rcfg.input_incoherence_rate > 0.0 {
+                let h = unsync_isa::exec::splitmix64(seq ^ 0xc0fe_babe);
+                let u = (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+                if u < self.rcfg.input_incoherence_rate {
+                    v ^= 1 << (h % 64);
+                    out.incoherent_loads += 1;
+                }
+            }
+            Some(v)
+        } else {
+            None
+        };
+
+        let mut result = arch[core].compute(inst, loaded);
+
+        // Transient in-pipeline faults corrupt this instruction's result —
+        // inside the fingerprint window, so the comparison catches them.
+        if let Some(site) = fault {
+            match site.target {
+                FaultTarget::Pc
+                | FaultTarget::PipelineRegs
+                | FaultTarget::Rob
+                | FaultTarget::IssueQueue
+                | FaultTarget::Lsq => {
+                    result ^= 1 << (site.bit_offset % 64);
+                }
+                FaultTarget::Tlb if inst.op.is_load() => {
+                    // A mistranslated load fetches the wrong value; the
+                    // corrupt result is inside the fingerprint window.
+                    result ^= 1 << (site.bit_offset % 64);
+                }
+                _ => {}
+            }
+        }
+
+        if inst.op.is_store() {
+            match pending.iter_mut().find(|(s, _)| *s == seq) {
+                Some((_, st)) => {
+                    st.addr[core] = addr & !7;
+                    st.value[core] = result;
+                }
+                None => pending.push((
+                    seq,
+                    PendingStore { addr: [addr & !7; 2], value: [result; 2] },
+                )),
+            }
+        }
+        if let Some(d) = inst.arch_dest() {
+            arch[core].write(d, result);
+        }
+        let _ = silent_addr_fault;
+        fps[core].update(inst.pc, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_fault::FaultTarget;
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    fn trace(n: u64, seed: u64) -> TraceProgram {
+        WorkloadGen::new(Benchmark::Gzip, n, seed).collect_trace()
+    }
+
+    fn pair() -> ReunionPair {
+        ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
+    }
+
+    fn site(target: FaultTarget, bit: u64) -> unsync_fault::FaultSite {
+        unsync_fault::FaultSite { target, bit_offset: bit }
+    }
+
+    #[test]
+    fn error_free_run_is_correct_and_complete() {
+        let t = trace(3_000, 1);
+        let out = pair().run(&t, &[]);
+        assert_eq!(out.committed, 3_000);
+        assert_eq!(out.mismatches, 0);
+        assert_eq!(out.rollbacks, 0);
+        assert!(out.correct(), "{out:?}");
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn pipeline_fault_is_caught_and_rolled_back() {
+        let t = trace(2_000, 2);
+        let faults =
+            [PairFault { at: 500, core: 0, site: site(FaultTarget::Rob, 17), kind: unsync_fault::FaultKind::Single }];
+        let out = pair().run(&t, &faults);
+        assert_eq!(out.mismatches, 1);
+        assert_eq!(out.rollbacks, 1);
+        assert_eq!(out.unrecoverable, 0);
+        assert!(out.correct(), "{out:?}");
+    }
+
+    #[test]
+    fn register_file_fault_within_its_interval_is_cleaned_by_rollback() {
+        // If the corrupted register is read in the *same* interval the
+        // strike lands in, the mismatch fires immediately and rollback
+        // restores the pre-strike snapshot: recovered. The hazard is only
+        // cross-interval (next test).
+        use unsync_isa::{Inst, OpClass, Reg};
+        let insts: Vec<Inst> = (0..40u64)
+            .map(|i| {
+                Inst::build(OpClass::IntAlu)
+                    .seq(i)
+                    .pc(i * 4)
+                    .dest(Reg::int((i % 8 + 10) as u8))
+                    .src0(Reg::int(1)) // r1 read every instruction
+                    .finish()
+            })
+            .collect();
+        let t = TraceProgram::new(insts);
+        let faults =
+            [PairFault { at: 5, core: 1, site: site(FaultTarget::RegisterFile, 64 + 3), kind: unsync_fault::FaultKind::Single }]; // r1
+        let out = pair().run(&t, &faults);
+        assert_eq!(out.mismatches, 1);
+        assert_eq!(out.rollbacks, 1);
+        assert_eq!(out.unrecoverable, 0);
+        assert!(out.correct(), "{out:?}");
+    }
+
+    #[test]
+    fn register_file_fault_across_intervals_is_unrecoverable_for_reunion() {
+        // The §VI-D ROEC hazard: the strike lands in an interval that
+        // never reads the register, so the interval verifies cleanly and
+        // the corruption is captured in every later snapshot. The first
+        // reading interval then mismatches on every rollback retry.
+        use unsync_isa::{Inst, OpClass, Reg};
+        let mut insts: Vec<Inst> = Vec::new();
+        // Interval 0 (seq 0..10): r1 written at seq 0, then left alone.
+        insts.push(
+            Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(20)).finish(),
+        );
+        for i in 1..10u64 {
+            insts.push(
+                Inst::build(OpClass::IntAlu)
+                    .seq(i)
+                    .pc(i * 4)
+                    .dest(Reg::int((i % 4 + 10) as u8))
+                    .src0(Reg::int(21))
+                    .finish(),
+            );
+        }
+        // Interval 1 (seq 10..20): reads r1.
+        for i in 10..20u64 {
+            insts.push(
+                Inst::build(OpClass::IntAlu)
+                    .seq(i)
+                    .pc(i * 4)
+                    .dest(Reg::int((i % 4 + 14) as u8))
+                    .src0(Reg::int(1))
+                    .finish(),
+            );
+        }
+        let t = TraceProgram::new(insts);
+        // Strike r1 at seq 5 — inside interval 0, which never reads it.
+        let faults =
+            [PairFault { at: 5, core: 1, site: site(FaultTarget::RegisterFile, 64 + 3), kind: unsync_fault::FaultKind::Single }];
+        let out = pair().run(&t, &faults);
+        assert!(out.mismatches > 1, "{out:?}");
+        assert_eq!(out.unrecoverable, 1, "{out:?}");
+        assert!(!out.correct());
+    }
+
+    #[test]
+    fn l1_fault_is_corrected_by_ecc() {
+        let t = trace(2_000, 4);
+        let faults =
+            [PairFault { at: 700, core: 0, site: site(FaultTarget::L1Data, 12345), kind: unsync_fault::FaultKind::Single }];
+        let out = pair().run(&t, &faults);
+        assert_eq!(out.corrected_in_place, 1);
+        assert_eq!(out.mismatches, 0);
+        assert!(out.correct(), "{out:?}");
+    }
+
+    #[test]
+    fn tlb_store_fault_escapes_silently() {
+        let t = trace(4_000, 5);
+        // Find a store to strike.
+        let store_at = t
+            .insts()
+            .iter()
+            .find(|i| i.op.is_store() && i.seq > 100)
+            .map(|i| i.seq)
+            .expect("trace has stores");
+        let faults =
+            [PairFault { at: store_at, core: 0, site: site(FaultTarget::Tlb, 7), kind: unsync_fault::FaultKind::Single }];
+        let out = pair().run(&t, &faults);
+        assert_eq!(out.silent_faults, 1);
+        assert_eq!(out.mismatches, 0, "fingerprints never notice a wrong-address store");
+        assert!(!out.memory_matches_golden, "memory image silently corrupted");
+    }
+
+    #[test]
+    fn input_incoherence_triggers_reissue_but_stays_correct() {
+        // §II: load-value mismatches from multiprocessor races are
+        // treated as transient errors — re-issue and re-check.
+        let t = trace(4_000, 9);
+        let mut cfg = ReunionConfig::paper_baseline();
+        cfg.input_incoherence_rate = 0.002;
+        let out = ReunionPair::new(CoreConfig::table1(), cfg).run(&t, &[]);
+        assert!(out.incoherent_loads > 0, "{out:?}");
+        assert!(out.mismatches > 0);
+        assert_eq!(out.mismatches, out.rollbacks);
+        assert!(out.correct(), "{out:?}");
+        // And the coherent-by-construction single-thread run pays for it.
+        let clean = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
+            .run(&t, &[]);
+        assert!(out.cycles > clean.cycles);
+    }
+
+    #[test]
+    fn rollback_costs_cycles() {
+        let t = trace(2_000, 6);
+        let clean = pair().run(&t, &[]);
+        let faults: Vec<PairFault> = (0..20)
+            .map(|k| PairFault {
+                at: 50 + k * 90,
+                core: (k % 2) as usize,
+                site: site(FaultTarget::PipelineRegs, k * 7),
+                kind: unsync_fault::FaultKind::Single,
+            })
+            .collect();
+        let faulty = pair().run(&t, &faults);
+        assert!(faulty.rollbacks >= 15, "{faulty:?}");
+        assert!(faulty.cycles > clean.cycles);
+        assert!(faulty.correct(), "transient pipeline faults are fully recoverable");
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let t = trace(1_500, 7);
+        let faults =
+            [PairFault { at: 321, core: 0, site: site(FaultTarget::IssueQueue, 9), kind: unsync_fault::FaultKind::Single }];
+        assert_eq!(pair().run(&t, &faults), pair().run(&t, &faults));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests of the out-of-order engine over randomly generated
+//! (but always architecturally valid) instruction streams.
+
+use proptest::prelude::*;
+use unsync_isa::{BranchInfo, Inst, InstStream, MemInfo, OpClass, Reg};
+use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+/// A compact recipe for one random instruction.
+#[derive(Debug, Clone, Copy)]
+struct InstSpec {
+    kind: u8,
+    dest: u8,
+    s0: u8,
+    s1: u8,
+    addr: u16,
+    taken: bool,
+    mispredicted: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = InstSpec> {
+    (any::<u8>(), 0u8..31, 0u8..31, 0u8..31, any::<u16>(), any::<bool>(), any::<bool>()).prop_map(
+        |(kind, dest, s0, s1, addr, taken, mispredicted)| InstSpec {
+            kind,
+            dest,
+            s0,
+            s1,
+            addr,
+            taken,
+            mispredicted,
+        },
+    )
+}
+
+fn build(seq: u64, spec: InstSpec) -> Inst {
+    let pc = seq * 4;
+    match spec.kind % 10 {
+        0..=3 => Inst::build(OpClass::IntAlu)
+            .seq(seq)
+            .pc(pc)
+            .dest(Reg::int(spec.dest))
+            .src0(Reg::int(spec.s0))
+            .src1(Reg::int(spec.s1))
+            .finish(),
+        4 => Inst::build(OpClass::IntMul)
+            .seq(seq)
+            .pc(pc)
+            .dest(Reg::int(spec.dest))
+            .src0(Reg::int(spec.s0))
+            .src1(Reg::int(spec.s1))
+            .finish(),
+        5 => Inst::build(OpClass::Load)
+            .seq(seq)
+            .pc(pc)
+            .dest(Reg::int(spec.dest))
+            .src0(Reg::int(spec.s0))
+            .mem(MemInfo::dword(0x1000 + (spec.addr as u64) * 8))
+            .finish(),
+        6 => Inst::build(OpClass::Store)
+            .seq(seq)
+            .pc(pc)
+            .src0(Reg::int(spec.s0))
+            .src1(Reg::int(spec.s1))
+            .mem(MemInfo::dword(0x1000 + (spec.addr as u64) * 8))
+            .finish(),
+        7 => Inst::build(OpClass::Branch)
+            .seq(seq)
+            .pc(pc)
+            .src0(Reg::int(spec.s0))
+            .branch(BranchInfo {
+                taken: spec.taken,
+                mispredicted: spec.mispredicted,
+                target: 0x40_0000,
+            })
+            .finish(),
+        8 => Inst::build(OpClass::FpAlu)
+            .seq(seq)
+            .pc(pc)
+            .dest(Reg::fp(spec.dest % 32))
+            .src0(Reg::fp(spec.s0 % 32))
+            .src1(Reg::fp(spec.s1 % 32))
+            .finish(),
+        _ => Inst::build(OpClass::Trap).seq(seq).pc(pc).finish(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Pipeline-order invariants hold for any instruction mix.
+    #[test]
+    fn stage_order_invariants(specs in proptest::collection::vec(arb_spec(), 1..400)) {
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+        let mut engine = OooEngine::new(CoreConfig::table1(), 0);
+        let mut hooks = NullHooks;
+        let mut last_fetch = 0;
+        let mut last_dispatch = 0;
+        let mut last_commit = 0;
+        for (i, &spec) in specs.iter().enumerate() {
+            let inst = build(i as u64, spec);
+            let t = engine.feed(&inst, &mut mem, &mut hooks);
+            // Within one instruction: fetch ≤ dispatch < issue ≤ complete < commit.
+            prop_assert!(t.fetch <= t.dispatch, "{t:?}");
+            prop_assert!(t.dispatch < t.issue, "{t:?}");
+            prop_assert!(t.issue <= t.complete, "{t:?}");
+            prop_assert!(t.complete < t.commit, "{t:?}");
+            prop_assert!(t.commit <= t.rob_free, "{t:?}");
+            // Across instructions: fetch, dispatch and commit are in order.
+            prop_assert!(t.fetch >= last_fetch);
+            prop_assert!(t.dispatch >= last_dispatch);
+            prop_assert!(t.commit >= last_commit);
+            last_fetch = t.fetch;
+            last_dispatch = t.dispatch;
+            last_commit = t.commit;
+        }
+        prop_assert_eq!(engine.stats().committed, specs.len() as u64);
+    }
+
+    /// Dataflow is respected: a consumer never completes before its
+    /// producer.
+    #[test]
+    fn producers_complete_before_consumers(n in 10u64..200, seed in 0u64..1000) {
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+        let mut engine = OooEngine::new(CoreConfig::table1(), 0);
+        let mut hooks = NullHooks;
+        let mut produced_at = [0u64; 31];
+        for i in 0..n {
+            let h = unsync_isa::exec::splitmix64(seed ^ i);
+            let dest = (h % 31) as u8;
+            let src = ((h >> 8) % 31) as u8;
+            let inst = Inst::build(OpClass::IntAlu)
+                .seq(i)
+                .pc(i * 4)
+                .dest(Reg::int(dest))
+                .src0(Reg::int(src))
+                .finish();
+            let t = engine.feed(&inst, &mut mem, &mut hooks);
+            prop_assert!(
+                t.complete > produced_at[src as usize]
+                    || produced_at[src as usize] == 0,
+                "consumer of r{src} completed at {} before producer at {}",
+                t.complete,
+                produced_at[src as usize]
+            );
+            prop_assert!(t.issue >= produced_at[src as usize]);
+            produced_at[dest as usize] = t.complete;
+        }
+    }
+
+    /// The engine never commits faster than its width allows.
+    #[test]
+    fn commit_bandwidth_is_respected(n in 100u64..2000) {
+        let mut cfg = CoreConfig::table1();
+        cfg.drift_max = 0;
+        let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+        let mut engine = OooEngine::new(cfg, 0);
+        let mut hooks = NullHooks;
+        for i in 0..n {
+            let inst = Inst::build(OpClass::IntAlu)
+                .seq(i)
+                .pc(i * 4)
+                .dest(Reg::int((i % 8) as u8))
+                .src0(Reg::int(20))
+                .finish();
+            engine.feed(&inst, &mut mem, &mut hooks);
+        }
+        let cycles = engine.stats().last_commit_cycle;
+        prop_assert!(
+            n <= cycles * cfg.commit_width as u64 + cfg.commit_width as u64,
+            "{n} commits in {cycles} cycles exceeds width {}",
+            cfg.commit_width
+        );
+    }
+}
+
+/// Every benchmark replays identically through the engine (stream reset
+/// and re-feed produce the same cycle counts).
+#[test]
+fn stream_replay_reproduces_timing() {
+    for &bench in &[Benchmark::Bzip2, Benchmark::Fft] {
+        let run = || {
+            let mut g = WorkloadGen::new(bench, 5_000, 3);
+            let mut mem =
+                MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+            let mut engine = OooEngine::new(CoreConfig::table1(), 0);
+            let mut hooks = NullHooks;
+            g.reset();
+            while let Some(inst) = g.next_inst() {
+                engine.feed(&inst, &mut mem, &mut hooks);
+            }
+            engine.stats().last_commit_cycle
+        };
+        assert_eq!(run(), run(), "{}", bench.name());
+    }
+}

@@ -1,0 +1,62 @@
+//! Branch-prediction study: replace the trace's annotated misprediction
+//! rates with a live gshare predictor and compare front-end behaviour.
+//!
+//! The architecture comparisons elsewhere use annotations on purpose
+//! (identical control flow for every configuration); this example shows
+//! the engine driving a real predictor instead.
+//!
+//! ```sh
+//! cargo run --release --example predictor_study
+//! ```
+
+use unsync::prelude::*;
+use unsync::sim::Gshare;
+
+fn main() {
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>12}",
+        "benchmark", "annotated", "bimodal 4K", "gshare 16K", "IPC (bim.)"
+    );
+    for bench in [
+        Benchmark::Bzip2,
+        Benchmark::Parser,
+        Benchmark::Stringsearch,
+        Benchmark::Galgel,
+        Benchmark::Dijkstra,
+    ] {
+        let insts = 60_000u64;
+        let annotated_rate = bench.profile().mispredict_rate;
+        let mut rates = Vec::new();
+        let mut last_ipc = 0.0;
+        for predictor in [Gshare::with_history(12, 0), Gshare::new(14)] {
+            let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+            let mut engine =
+                OooEngine::new(CoreConfig::table1(), 0).with_predictor(predictor);
+            let mut hooks = BaselineHooks::default();
+            let mut g = WorkloadGen::new(bench, insts, 5);
+            let mut inst_count = 0u64;
+            while let Some(inst) = g.next_inst() {
+                engine.feed(&inst, &mut mem, &mut hooks);
+                inst_count += 1;
+            }
+            let p = engine.predictor().expect("attached");
+            rates.push(p.mispredict_rate());
+            if rates.len() == 1 {
+                last_ipc = inst_count as f64 / engine.stats().last_commit_cycle as f64;
+            }
+        }
+        println!(
+            "{:<14} {:>11.2}% {:>11.2}% {:>13.2}% {:>12.3}",
+            bench.name(),
+            annotated_rate * 100.0,
+            rates[0] * 100.0,
+            rates[1] * 100.0,
+            last_ipc
+        );
+    }
+    println!(
+        "\nThe synthetic streams have per-site bias but no cross-branch correlation, so \
+         a bimodal table approaches the intrinsic limit while gshare's global history \
+         only injects noise — the classic predictable-vs-correlated distinction."
+    );
+}

@@ -1,0 +1,84 @@
+//! Selective-protection design space (§VIII: "possible customization at
+//! the hardware … varied degrees of redundancy/resilience trade-offs").
+//!
+//! Enumerates all 2⁹ subsets of UnSync's detection placement — each
+//! structure either gets its preferred mechanism (parity, or DMR for the
+//! every-cycle elements) or is left bare — and prints the Pareto frontier
+//! of (ROEC coverage) vs (area overhead). The full placement and the
+//! empty one anchor the ends; the interesting points are the knees.
+//!
+//! ```sh
+//! cargo run --release --example protection_frontier
+//! ```
+
+use unsync::fault::inject::{Coverage, DetectionMechanism, ALL_TARGETS};
+use unsync::hwcost::{CoreModel, MechanismCost};
+
+fn mech_cost(m: DetectionMechanism) -> MechanismCost {
+    match m {
+        DetectionMechanism::Parity => MechanismCost::Parity,
+        DetectionMechanism::Dmr => MechanismCost::Dmr,
+        DetectionMechanism::Secded => MechanismCost::Secded,
+        DetectionMechanism::Fingerprint => MechanismCost::Parity, // n/a here
+    }
+}
+
+fn main() {
+    let base_area = CoreModel::mips_baseline().core_area_um2();
+    let mut points = Vec::new();
+
+    for mask in 0u32..(1 << ALL_TARGETS.len()) {
+        let map: Vec<_> = ALL_TARGETS
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let protect = mask >> i & 1 == 1;
+                (t, protect.then(|| Coverage::preferred_mechanism(t)))
+            })
+            .collect();
+        let area: f64 = map
+            .iter()
+            .filter_map(|&(t, m)| m.map(|m| mech_cost(m).area_um2(t.bits())))
+            .sum();
+        let cov = Coverage::custom("candidate", map);
+        points.push((cov.roec_fraction(), area / base_area * 100.0, mask));
+    }
+
+    // Pareto frontier: maximal coverage for minimal area.
+    points.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut frontier: Vec<(f64, f64, u32)> = Vec::new();
+    let mut best_cov = -1.0;
+    for &(cov, area, mask) in &points {
+        if cov > best_cov + 1e-12 {
+            best_cov = cov;
+            frontier.push((cov, area, mask));
+        }
+    }
+
+    println!("Selective-protection Pareto frontier ({} candidate placements):", points.len());
+    println!("{:>10} {:>12}   protected structures", "ROEC %", "area ovh %");
+    for &(cov, area, mask) in &frontier {
+        let names: Vec<&str> = ALL_TARGETS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, t)| match t {
+                unsync::fault::FaultTarget::RegisterFile => "RF",
+                unsync::fault::FaultTarget::Pc => "PC",
+                unsync::fault::FaultTarget::PipelineRegs => "PIPE",
+                unsync::fault::FaultTarget::Rob => "ROB",
+                unsync::fault::FaultTarget::IssueQueue => "IQ",
+                unsync::fault::FaultTarget::Lsq => "LSQ",
+                unsync::fault::FaultTarget::Tlb => "TLB",
+                unsync::fault::FaultTarget::L1Data => "L1D",
+                unsync::fault::FaultTarget::L1Tag => "L1T",
+            })
+            .collect();
+        println!("{:>10.2} {:>12.3}   {}", cov * 100.0, area, names.join("+"));
+    }
+    println!(
+        "\nThe L1 data array dominates the vulnerable bits, and parity on it is nearly \
+         free — which is why UnSync's full placement costs so little; the expensive \
+         marginal step is DMR on the every-cycle pipeline latches."
+    );
+}

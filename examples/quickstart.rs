@@ -1,0 +1,60 @@
+//! Quickstart: run one benchmark on all three configurations and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unsync::prelude::*;
+
+fn main() {
+    let bench = Benchmark::Bzip2;
+    let insts = 50_000;
+    let seed = 42;
+
+    println!("workload: {} ({insts} instructions, seed {seed})", bench.name());
+    let profile = bench.profile();
+    println!(
+        "  {:.1}% loads, {:.1}% stores, {:.2}% serializing instructions",
+        profile.frac_load * 100.0,
+        profile.frac_store * 100.0,
+        profile.frac_serializing * 100.0
+    );
+
+    // 1. The unprotected baseline CMP core (Table I).
+    let mut stream = WorkloadGen::new(bench, insts, seed);
+    let base = run_baseline(CoreConfig::table1(), &mut stream);
+    println!("\nbaseline:      IPC {:.3}  ({} cycles)", base.ipc(), base.core.last_commit_cycle);
+
+    // 2. A Reunion vocal/mute pair (fingerprint comparison, FI = 10).
+    let trace = WorkloadGen::new(bench, insts, seed).collect_trace();
+    let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+    let r = reunion.run(&trace, &[]);
+    println!(
+        "reunion pair:  IPC {:.3}  ({} cycles, +{:.2}% vs baseline)",
+        r.ipc(),
+        r.cycles,
+        (r.cycles as f64 / base.core.last_commit_cycle as f64 - 1.0) * 100.0
+    );
+
+    // 3. An UnSync pair (hardware detection, Communication Buffer,
+    //    always-forward recovery).
+    let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+    let u = unsync.run(&trace, &[]);
+    println!(
+        "unsync pair:   IPC {:.3}  ({} cycles, +{:.2}% vs baseline)",
+        u.ipc(),
+        u.cycles,
+        (u.cycles as f64 / base.core.last_commit_cycle as f64 - 1.0) * 100.0
+    );
+    assert!(u.correct());
+
+    // 4. And the hardware price of each (Table II).
+    let t2 = unsync::hwcost::table2();
+    println!(
+        "\nhardware: Reunion +{:.1}% area / +{:.1}% power; UnSync +{:.1}% area / +{:.1}% power",
+        t2.reunion.area_overhead_pct.unwrap(),
+        t2.reunion.power_overhead_pct.unwrap(),
+        t2.unsync.area_overhead_pct.unwrap(),
+        t2.unsync.power_overhead_pct.unwrap()
+    );
+}

@@ -1,0 +1,62 @@
+//! Trace tooling: generate → serialize → reload → inspect → golden-run.
+//!
+//! Shows the UTRC trace codec and the functional golden runner — the
+//! workflow for shipping regression traces or driving the simulator from
+//! externally produced instruction streams.
+//!
+//! ```sh
+//! cargo run --release --example trace_tools [out.utrc]
+//! ```
+
+use unsync::prelude::*;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/unsync_demo.utrc".into());
+    let bench = Benchmark::Dijkstra;
+    let trace = WorkloadGen::new(bench, 2_000, 2026).collect_trace();
+
+    // Serialize and reload.
+    let bytes = unsync::isa::encode_trace(&trace);
+    std::fs::write(&path, &bytes).expect("write trace file");
+    let loaded = unsync::isa::decode_trace(&std::fs::read(&path).expect("read trace file"))
+        .expect("decode trace file");
+    assert_eq!(trace.insts(), loaded.insts());
+    println!(
+        "{}: {} instructions, {} bytes on disk ({:.1} B/inst)",
+        path,
+        loaded.len(),
+        bytes.len(),
+        bytes.len() as f64 / loaded.len() as f64
+    );
+
+    // Inspect the head of the trace.
+    println!("\nfirst 12 instructions:");
+    for inst in &loaded.insts()[..12] {
+        println!("  {inst}");
+    }
+
+    // Trace statistics.
+    let stats = loaded.stats();
+    println!(
+        "\nmix: {:.1}% loads, {:.1}% stores, {:.1}% branches, {:.2}% serializing; \
+         {} distinct lines",
+        stats.fraction(OpClass::Load) * 100.0,
+        stats.fraction(OpClass::Store) * 100.0,
+        stats.fraction(OpClass::Branch) * 100.0,
+        stats.serializing_fraction() * 100.0,
+        stats.distinct_lines
+    );
+
+    // Golden functional run: the correctness oracle for fault campaigns.
+    let (state, mem) = golden_run(&loaded);
+    let digest = mem.iter().fold(0u64, |acc, (a, v)| {
+        unsync::isa::exec::splitmix64(acc ^ a ^ v.rotate_left(17))
+    });
+    println!(
+        "\ngolden run: pc = {:#x}, {} memory words written, digest {digest:#018x}",
+        state.pc,
+        mem.footprint_words()
+    );
+    println!("(identical on every platform for this trace — the oracle every fault");
+    println!(" experiment compares against)");
+}

@@ -1,0 +1,53 @@
+//! The Fig. 1 system: two UnSync core-pairs on one CMP, each redundantly
+//! executing its own workload over the shared ECC-protected L2.
+//!
+//! ```sh
+//! cargo run --release --example two_pairs
+//! ```
+
+use unsync::core::UnsyncSystem;
+use unsync::prelude::*;
+
+fn main() {
+    let insts = 40_000u64;
+    // Two processes at disjoint address bases.
+    let workloads = [
+        (Benchmark::Galgel, 0x1000_0000u64),
+        (Benchmark::Mcf, 0x9000_0000u64),
+    ];
+    let traces: Vec<TraceProgram> = workloads
+        .iter()
+        .map(|&(b, base)| WorkloadGen::new_at(b, insts, 17, base).collect_trace())
+        .collect();
+
+    let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+
+    println!("each pair alone on the chip:");
+    for (i, t) in traces.iter().enumerate() {
+        let alone = sys.run(std::slice::from_ref(t));
+        println!(
+            "  pair {} ({:<8}) IPC {:.3}",
+            i,
+            workloads[i].0.name(),
+            alone.pairs[0].ipc()
+        );
+    }
+
+    println!("\nboth pairs sharing the L2 (the Table I 4-core CMP):");
+    let out = sys.run(&traces);
+    for p in &out.pairs {
+        println!(
+            "  pair {} ({:<8}) IPC {:.3}  CB drains {}  CB stall cycles {}",
+            p.pair,
+            workloads[p.pair].0.name(),
+            p.ipc(),
+            p.cb_drained,
+            p.cb_full_stall_cycles
+        );
+    }
+    println!("  shared L2 miss rate: {:.1}%", out.l2_miss_rate * 100.0);
+    println!(
+        "\nReading: redundant pairs do not synchronize with each other either — the only \
+         cross-pair coupling is ordinary L2/MSHR contention."
+    );
+}

@@ -1,0 +1,64 @@
+//! End-to-end validation of the §VI-C methodology: the analytic
+//! projection (error-free runtime + rate × per-event cost) must agree
+//! with a run in which the *actual* fault pattern for that rate is
+//! injected.
+
+use unsync::prelude::*;
+
+#[test]
+fn injected_rate_matches_analytic_projection() {
+    let insts = 60_000u64;
+    let t = WorkloadGen::new(Benchmark::Gzip, insts, 4).collect_trace();
+    let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+
+    // Error-free runtime and measured per-event cost.
+    let t0 = pair.run(&t, &[]).cycles as f64;
+    let k = 8u64;
+    let probe: Vec<PairFault> = (0..k)
+        .map(|i| PairFault {
+            at: (i + 1) * insts / (k + 1),
+            core: (i % 2) as usize,
+            site: FaultSite { target: FaultTarget::Rob, bit_offset: 3 + i }, kind: unsync_fault::FaultKind::Single })
+        .collect();
+    let per_event = (pair.run(&t, &probe).cycles as f64 - t0) / k as f64;
+
+    // A high (still sub-break-even scale) rate so faults actually land.
+    let rate = SerRate::per_instruction(2e-4);
+    let faults = PairFault::plan_for_rate(rate, 99, insts);
+    assert!(
+        faults.len() >= 5,
+        "need a meaningful number of arrivals, got {}",
+        faults.len()
+    );
+    let injected = pair.run(&t, &faults);
+    assert!(injected.correct(), "{injected:?}");
+    assert_eq!(injected.recoveries, faults.len() as u64);
+
+    let projected = t0 + faults.len() as f64 * per_event;
+    let measured = injected.cycles as f64;
+    let rel_err = (measured - projected).abs() / projected;
+    assert!(
+        rel_err < 0.15,
+        "projection {projected:.0} vs measured {measured:.0} (rel err {rel_err:.3})"
+    );
+}
+
+#[test]
+fn physical_rates_produce_no_arrivals_at_simulable_horizons() {
+    // The flat region of §VI-C, concretely: at the 90 nm rate the first
+    // arrival is ~10^16 instructions away.
+    let faults = PairFault::plan_for_rate(SerRate::NM90, 1, 10_000_000);
+    assert!(faults.is_empty());
+    let faults7 = PairFault::plan_for_rate(SerRate::per_instruction(1e-7), 1, 100_000);
+    assert!(faults7.len() <= 1, "{}", faults7.len());
+}
+
+#[test]
+fn arrival_counts_scale_with_rate() {
+    let horizon = 200_000u64;
+    let lo = PairFault::plan_for_rate(SerRate::per_instruction(1e-4), 7, horizon).len();
+    let hi = PairFault::plan_for_rate(SerRate::per_instruction(1e-3), 7, horizon).len();
+    assert!(hi > 5 * lo, "hi {hi} vs lo {lo}");
+    // Roughly rate × horizon.
+    assert!((hi as f64 - 200.0).abs() < 60.0, "{hi}");
+}

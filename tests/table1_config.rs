@@ -1,0 +1,46 @@
+//! Integration check: the default configuration of every crate is the
+//! paper's Table I, end to end.
+
+use unsync::prelude::*;
+
+#[test]
+fn core_defaults_are_table1() {
+    let c = CoreConfig::table1();
+    assert_eq!(c.fetch_width, 4);
+    assert_eq!(c.dispatch_width, 4);
+    assert_eq!(c.commit_width, 4);
+    assert_eq!(c.iq_size, 64);
+    assert!((c.clock_ghz - 2.0).abs() < 1e-12);
+    assert_eq!(c, CoreConfig::default());
+}
+
+#[test]
+fn hierarchy_defaults_are_table1() {
+    let h = HierarchyConfig::table1();
+    assert_eq!(h.l1d.size_bytes, 32 * 1024);
+    assert_eq!(h.l1d.assoc, 2);
+    assert_eq!(h.l1d.mshrs, 10);
+    assert_eq!(h.l1d.hit_latency, 2);
+    assert_eq!(h.l1d.line_bytes, 64);
+    assert_eq!(h.l2.size_bytes, 4 * 1024 * 1024);
+    assert_eq!(h.l2.assoc, 8);
+    assert_eq!(h.l2.hit_latency, 20);
+    assert_eq!(h.l2.mshrs, 20);
+    assert_eq!(h.itlb.entries, 48);
+    assert_eq!(h.itlb.assoc, 2);
+    assert_eq!(h.dtlb.entries, 64);
+    assert_eq!(h.dtlb.assoc, 2);
+    assert_eq!(h.dram_latency, 400);
+    assert_eq!(h.bus_bytes_per_cycle, 8, "64-bit wide memory path");
+}
+
+#[test]
+fn architecture_defaults_match_section_v() {
+    // UnSync: write-through L1, 10 CB entries.
+    assert_eq!(UnsyncConfig::paper_baseline().cb_entries, 10);
+    // Reunion: FI=10, 17-entry CSB of 66-bit entries.
+    let r = ReunionConfig::paper_baseline();
+    assert_eq!(r.fingerprint_interval, 10);
+    assert_eq!(r.csb_entries, 17);
+    assert_eq!(r.csb_bits(), 1122, "the paper's 17 × 66 = 1122-bit buffer");
+}
