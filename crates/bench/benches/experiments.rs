@@ -1,9 +1,9 @@
-//! Criterion benches over the experiment drivers — one group per paper
+//! Micro-benches over the experiment drivers — one group per paper
 //! artifact, at reduced instruction counts so `cargo bench` finishes in
 //! minutes while exercising exactly the code paths the binaries use.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unsync_bench::experiments::{self, ExperimentConfig};
+use unsync_bench::microbench::Bench;
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_reunion::{ReunionConfig, ReunionPair};
 use unsync_sim::{run_baseline, CoreConfig};
@@ -11,137 +11,109 @@ use unsync_workloads::{Benchmark, WorkloadGen};
 
 const N: u64 = 20_000;
 
-fn bench_table2_table3(c: &mut Criterion) {
-    c.bench_function("table2/hwcost-model", |b| b.iter(unsync_hwcost::table2));
-    c.bench_function("table3/die-projection", |b| b.iter(unsync_hwcost::table3));
+fn bench_table2_table3() {
+    let g = Bench::group("tables");
+    g.bench("table2/hwcost-model", unsync_hwcost::table2);
+    g.bench("table3/die-projection", unsync_hwcost::table3);
 }
 
-fn bench_fig4_architectures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
+fn bench_fig4_architectures() {
+    let g = Bench::group("fig4");
     for bench in [Benchmark::Bzip2, Benchmark::Galgel] {
         let trace = WorkloadGen::new(bench, N, 1).collect_trace();
-        g.bench_with_input(BenchmarkId::new("baseline", bench.name()), &bench, |b, &bench| {
-            b.iter(|| {
-                let mut s = WorkloadGen::new(bench, N, 1);
-                run_baseline(CoreConfig::table1(), &mut s)
-            })
+        g.bench(&format!("baseline/{}", bench.name()), || {
+            let mut s = WorkloadGen::new(bench, N, 1);
+            run_baseline(CoreConfig::table1(), &mut s)
         });
-        g.bench_with_input(BenchmarkId::new("reunion-pair", bench.name()), &trace, |b, t| {
-            let pair = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
-            b.iter(|| pair.run(t, &[]))
+        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+        g.bench(&format!("reunion-pair/{}", bench.name()), || {
+            reunion.run(&trace, &[])
         });
-        g.bench_with_input(BenchmarkId::new("unsync-pair", bench.name()), &trace, |b, t| {
-            let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
-            b.iter(|| pair.run(t, &[]))
+        let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        g.bench(&format!("unsync-pair/{}", bench.name()), || {
+            unsync.run(&trace, &[])
         });
     }
-    g.finish();
 }
 
-fn bench_fig5_sweep_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
+fn bench_fig5_sweep_point() {
+    let g = Bench::group("fig5");
     for (fi, lat) in [(1u32, 10u32), (30, 40)] {
-        g.bench_function(BenchmarkId::new("reunion", format!("fi{fi}-lat{lat}")), |b| {
-            b.iter(|| {
-                let mut s = WorkloadGen::new(Benchmark::Galgel, N, 1);
-                let mut hooks =
-                    unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, lat));
-                unsync_sim::run_stream(
-                    CoreConfig::table1(),
-                    &mut s,
-                    &mut hooks,
-                    unsync_mem::WritePolicy::WriteThrough,
-                )
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig6_cb_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    let trace = WorkloadGen::new(Benchmark::Qsort, N, 1).collect_trace();
-    for entries in [2usize, 256] {
-        g.bench_with_input(BenchmarkId::new("unsync-cb", entries), &trace, |b, t| {
-            let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries));
-            b.iter(|| pair.run(t, &[]))
-        });
-    }
-    g.finish();
-}
-
-fn bench_comparators_and_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    let trace = WorkloadGen::new(Benchmark::Gzip, N, 1).collect_trace();
-    g.bench_function("lockstep-pair", |b| {
-        let pair = unsync_reunion::LockstepPair::new(CoreConfig::table1());
-        b.iter(|| pair.run(&trace))
-    });
-    g.bench_function("checkpoint-hooks", |b| {
-        b.iter(|| {
-            let mut s = WorkloadGen::new(Benchmark::Gzip, N, 1);
-            let mut hooks =
-                unsync_reunion::CheckpointHooks::new(unsync_reunion::CheckpointConfig::default());
+        g.bench(&format!("reunion/fi{fi}-lat{lat}"), || {
+            let mut s = WorkloadGen::new(Benchmark::Galgel, N, 1);
+            let mut hooks = unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, lat));
             unsync_sim::run_stream(
                 CoreConfig::table1(),
                 &mut s,
                 &mut hooks,
                 unsync_mem::WritePolicy::WriteThrough,
             )
-        })
-    });
-    for ways in [2usize, 3] {
-        g.bench_with_input(BenchmarkId::new("nway-group", ways), &trace, |b, t| {
-            let grp = unsync_core::UnsyncGroup::new(
-                CoreConfig::table1(),
-                UnsyncConfig::paper_baseline(),
-                ways,
-            );
-            b.iter(|| grp.run(t, &[]))
         });
     }
-    g.bench_function("two-pair-system", |b| {
-        let ta = WorkloadGen::new_at(Benchmark::Sha, N / 2, 1, 0x1000_0000).collect_trace();
-        let tb = WorkloadGen::new_at(Benchmark::Qsort, N / 2, 2, 0x9000_0000).collect_trace();
-        let sys =
-            unsync_core::UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
-        b.iter(|| sys.run(std::slice::from_ref(&ta).iter().chain([&tb]).cloned().collect::<Vec<_>>().as_slice()))
-    });
-    g.bench_function("trace-codec-roundtrip", |b| {
-        b.iter(|| {
-            let bytes = unsync_isa::encode_trace(&trace);
-            unsync_isa::decode_trace(&bytes).unwrap().len()
-        })
-    });
-    g.bench_function("avf-estimate", |b| {
-        b.iter(|| unsync_fault::avf::estimate(&trace, 0.5, 0.5, 0.25))
-    });
-    g.finish();
 }
 
-fn bench_reliability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reliability");
-    g.sample_size(10);
-    g.bench_function("ser-sweep", |b| {
-        b.iter(|| experiments::ser_sweep(ExperimentConfig::quick(), &[Benchmark::Gzip]))
-    });
-    g.bench_function("roec-campaign", |b| {
-        b.iter(|| experiments::roec(ExperimentConfig::quick(), 6))
-    });
-    g.finish();
+fn bench_fig6_cb_sizes() {
+    let g = Bench::group("fig6");
+    let trace = WorkloadGen::new(Benchmark::Qsort, N, 1).collect_trace();
+    for entries in [2usize, 256] {
+        let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries));
+        g.bench(&format!("unsync-cb/{entries}"), || pair.run(&trace, &[]));
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_table2_table3,
-    bench_fig4_architectures,
-    bench_fig5_sweep_point,
-    bench_fig6_cb_sizes,
-    bench_comparators_and_extensions,
-    bench_reliability
-);
-criterion_main!(benches);
+fn bench_comparators_and_extensions() {
+    let g = Bench::group("extensions");
+    let trace = WorkloadGen::new(Benchmark::Gzip, N, 1).collect_trace();
+    let lockstep = unsync_reunion::LockstepPair::new(CoreConfig::table1());
+    g.bench("lockstep-pair", || lockstep.run(&trace));
+    g.bench("checkpoint-hooks", || {
+        let mut s = WorkloadGen::new(Benchmark::Gzip, N, 1);
+        let mut hooks =
+            unsync_reunion::CheckpointHooks::new(unsync_reunion::CheckpointConfig::default());
+        unsync_sim::run_stream(
+            CoreConfig::table1(),
+            &mut s,
+            &mut hooks,
+            unsync_mem::WritePolicy::WriteThrough,
+        )
+    });
+    for ways in [2usize, 3] {
+        let grp = unsync_core::UnsyncGroup::new(
+            CoreConfig::table1(),
+            UnsyncConfig::paper_baseline(),
+            ways,
+        );
+        g.bench(&format!("nway-group/{ways}"), || grp.run(&trace, &[]));
+    }
+    let ta = WorkloadGen::new_at(Benchmark::Sha, N / 2, 1, 0x1000_0000).collect_trace();
+    let tb = WorkloadGen::new_at(Benchmark::Qsort, N / 2, 2, 0x9000_0000).collect_trace();
+    let sys = unsync_core::UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+    let both = [ta, tb];
+    g.bench("two-pair-system", || sys.run(&both));
+    g.bench("trace-codec-roundtrip", || {
+        let bytes = unsync_isa::encode_trace(&trace);
+        unsync_isa::decode_trace(&bytes).unwrap().len()
+    });
+    g.bench("avf-estimate", || {
+        unsync_fault::avf::estimate(&trace, 0.5, 0.5, 0.25)
+    });
+}
+
+fn bench_reliability() {
+    let g = Bench::group("reliability");
+    g.bench("ser-sweep", || {
+        experiments::ser_sweep(ExperimentConfig::quick(), &[Benchmark::Gzip])
+    });
+    g.bench("roec-campaign", || {
+        experiments::roec(ExperimentConfig::quick(), 6)
+    });
+}
+
+fn main() {
+    bench_table2_table3();
+    bench_fig4_architectures();
+    bench_fig5_sweep_point();
+    bench_fig6_cb_sizes();
+    bench_comparators_and_extensions();
+    bench_reliability();
+}

@@ -1,111 +1,110 @@
-//! Criterion benches of the building blocks: detection primitives,
-//! cache model, workload generation and the pipeline engine.
+//! Micro-benches of the building blocks: detection primitives, cache
+//! model, workload generation and the pipeline engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::cell::Cell;
+
+use unsync_bench::microbench::Bench;
 use unsync_fault::{crc16_word, Fingerprint, ParityWord, SecdedCodeword};
 use unsync_mem::{AccessKind, Cache, CacheConfig, HierarchyConfig, MemSystem, WritePolicy};
 use unsync_sim::{CoreConfig, NullHooks, OooEngine};
 use unsync_workloads::{Benchmark, WorkloadGen};
 
-fn bench_detection_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("primitives");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("parity/store+load", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(0x9e37);
-            ParityWord::store(x).load()
-        })
+fn bench_detection_primitives() {
+    let g = Bench::group("primitives");
+    let x = Cell::new(0u64);
+    g.bench("parity/store+load", || {
+        x.set(x.get().wrapping_add(0x9e37));
+        ParityWord::store(x.get()).load()
     });
-    g.bench_function("secded/encode+decode", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(0x9e37);
-            SecdedCodeword::encode(x).decode()
-        })
+    x.set(0);
+    g.bench("secded/encode+decode", || {
+        x.set(x.get().wrapping_add(0x9e37));
+        SecdedCodeword::encode(x.get()).decode()
     });
-    g.bench_function("secded/correct-one-flip", |b| {
-        let mut bit = 0u32;
-        b.iter(|| {
-            bit = (bit + 1) % 72;
-            let mut cw = SecdedCodeword::encode(0xdead_beef);
-            cw.flip_bit(bit);
-            cw.decode()
-        })
+    let bit = Cell::new(0u32);
+    g.bench("secded/correct-one-flip", || {
+        bit.set((bit.get() + 1) % 72);
+        let mut cw = SecdedCodeword::encode(0xdead_beef);
+        cw.flip_bit(bit.get());
+        cw.decode()
     });
-    g.bench_function("crc16/word", |b| {
-        let mut crc = 0xffffu16;
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            crc = crc16_word(crc, x);
-            crc
-        })
+    let crc = Cell::new(0xffffu16);
+    x.set(0);
+    g.bench("crc16/word", || {
+        x.set(x.get().wrapping_add(1));
+        crc.set(crc16_word(crc.get(), x.get()));
+        crc.get()
     });
-    g.bench_function("fingerprint/update", |b| {
+    g.bench("fingerprint/update", || {
         let mut fp = Fingerprint::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
+        for i in 1..=64u64 {
             fp.update(i * 4, i);
-            fp.peek()
-        })
+        }
+        fp.peek()
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("l1/hit", |b| {
-        let mut cache = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
-        cache.access(0x1000, AccessKind::Read);
-        b.iter(|| cache.access(0x1000, AccessKind::Read))
+fn bench_cache() {
+    let g = Bench::group("cache");
+    let mut hot = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
+    hot.access(0x1000, AccessKind::Read);
+    let hot = Cell::new(Some(hot));
+    g.bench("l1/hit", || {
+        let mut cache = hot.take().expect("cache present");
+        let t = cache.access(0x1000, AccessKind::Read);
+        hot.set(Some(cache));
+        t
     });
-    g.bench_function("l1/streaming-misses", |b| {
-        let mut cache = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr += 64;
-            cache.access(addr, AccessKind::Read)
-        })
+    let cold = Cell::new(Some(Cache::new(
+        CacheConfig::l1_table1(),
+        WritePolicy::WriteThrough,
+    )));
+    let addr = Cell::new(0u64);
+    g.bench("l1/streaming-misses", || {
+        let mut cache = cold.take().expect("cache present");
+        addr.set(addr.get() + 64);
+        let t = cache.access(addr.get(), AccessKind::Read);
+        cold.set(Some(cache));
+        t
     });
-    g.bench_function("hierarchy/load", |b| {
-        let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
-        let mut cycle = 0u64;
-        let mut addr = 0x1000u64;
-        b.iter(|| {
-            cycle += 4;
-            addr = addr.wrapping_add(8) & 0xf_ffff;
-            mem.load(0, addr, cycle)
-        })
+    let mem = Cell::new(Some(MemSystem::new(
+        HierarchyConfig::table1(),
+        1,
+        WritePolicy::WriteThrough,
+    )));
+    let cycle = Cell::new(0u64);
+    addr.set(0x1000);
+    g.bench("hierarchy/load", || {
+        let mut m = mem.take().expect("mem present");
+        cycle.set(cycle.get() + 4);
+        addr.set(addr.get().wrapping_add(8) & 0xf_ffff);
+        let t = m.load(0, addr.get(), cycle.get());
+        mem.set(Some(m));
+        t
     });
-    g.finish();
 }
 
-fn bench_workload_and_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn bench_workload_and_engine() {
+    let g = Bench::group("engine");
     for bench in [Benchmark::Bzip2, Benchmark::Sha] {
-        g.throughput(Throughput::Elements(10_000));
-        g.bench_with_input(BenchmarkId::new("gen", bench.name()), &bench, |b, &bench| {
-            b.iter(|| WorkloadGen::new(bench, 10_000, 1).collect_trace())
+        g.bench(&format!("gen/{}", bench.name()), || {
+            WorkloadGen::new(bench, 10_000, 1).collect_trace()
         });
-        g.bench_with_input(BenchmarkId::new("feed-10k", bench.name()), &bench, |b, &bench| {
-            let trace = WorkloadGen::new(bench, 10_000, 1).collect_trace();
-            b.iter(|| {
-                let mut mem =
-                    MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
-                let mut engine = OooEngine::new(CoreConfig::table1(), 0);
-                let mut hooks = NullHooks;
-                for inst in trace.insts() {
-                    engine.feed(inst, &mut mem, &mut hooks);
-                }
-                engine.stats().last_commit_cycle
-            })
+        let trace = WorkloadGen::new(bench, 10_000, 1).collect_trace();
+        g.bench(&format!("feed-10k/{}", bench.name()), || {
+            let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+            let mut engine = OooEngine::new(CoreConfig::table1(), 0);
+            let mut hooks = NullHooks;
+            for inst in trace.insts() {
+                engine.feed(inst, &mut mem, &mut hooks);
+            }
+            engine.stats().last_commit_cycle
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_detection_primitives, bench_cache, bench_workload_and_engine);
-criterion_main!(benches);
+fn main() {
+    bench_detection_primitives();
+    bench_cache();
+    bench_workload_and_engine();
+}

@@ -12,7 +12,7 @@
 //! The sweep shows where each discipline wins as the error rate rises —
 //! the §VI-C analysis generalized to three designs.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{RecoveryMode, UnsyncConfig, UnsyncPair};
 use unsync_fault::{FaultSite, FaultTarget, PairFault};
 use unsync_mem::WritePolicy;
@@ -29,7 +29,9 @@ fn main() {
     let insts = cfg.inst_count as f64;
 
     let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-    let base = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle as f64;
+    let base = run_baseline(CoreConfig::table1(), &mut s)
+        .core
+        .last_commit_cycle as f64;
 
     // Error-free runtimes.
     let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
@@ -40,9 +42,14 @@ fn main() {
     let c0 = {
         let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
         let mut hooks = CheckpointHooks::new(ckpt_cfg);
-        run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough)
-            .core
-            .last_commit_cycle as f64
+        run_stream(
+            CoreConfig::table1(),
+            &mut s,
+            &mut hooks,
+            WritePolicy::WriteThrough,
+        )
+        .core
+        .last_commit_cycle as f64
     };
 
     // Per-error costs: measured for UnSync/Reunion, analytic for the
@@ -52,23 +59,44 @@ fn main() {
         .map(|i| PairFault {
             at: (i + 1) * cfg.inst_count / (k + 1),
             core: (i % 2) as usize,
-            site: FaultSite { target: FaultTarget::Rob, bit_offset: 7 + i }, kind: unsync_fault::FaultKind::Single })
+            site: FaultSite {
+                target: FaultTarget::Rob,
+                bit_offset: 7 + i,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        })
         .collect();
     let u_cost = (unsync.run(&t, &faults).cycles as f64 - u0) / k as f64;
     let r_cost = (reunion.run(&t, &faults).cycles as f64 - r0) / k as f64;
     let c_cost = checkpoint_error_cost(&ckpt_cfg, c0 / insts);
 
-    println!("Ablation — recovery disciplines on {} ({} instructions)", bench.name(), cfg.inst_count);
+    println!(
+        "Ablation — recovery disciplines on {} ({} instructions)",
+        bench.name(),
+        cfg.inst_count
+    );
     println!(
         "{:<14} {:>16} {:>18}",
         "discipline", "error-free ovh", "cycles per error"
     );
+    let mut log = RunLog::start("ablation_recovery", cfg);
     for (name, t0, cost) in [
         ("UnSync", u0, u_cost),
         ("Reunion", r0, r_cost),
         ("Checkpoint", c0, c_cost),
     ] {
-        println!("{:<14} {:>15.2}% {:>18.0}", name, (t0 / base - 1.0) * 100.0, cost);
+        log.record(
+            Json::obj()
+                .field("discipline", name)
+                .field("error_free_overhead_pct", (t0 / base - 1.0) * 100.0)
+                .field("cycles_per_error", cost),
+        );
+        println!(
+            "{:<14} {:>15.2}% {:>18.0}",
+            name,
+            (t0 / base - 1.0) * 100.0,
+            cost
+        );
     }
 
     println!("\nprojected runtime (normalized to baseline) vs SER:");
@@ -79,6 +107,13 @@ fn main() {
     for exp in [-17i32, -9, -7, -6, -5, -4, -3] {
         let rate = 10f64.powi(exp);
         let proj = |t0: f64, cost: f64| (t0 + rate * insts * cost) / base;
+        log.record(
+            Json::obj()
+                .field("ser_per_inst", rate)
+                .field("unsync_norm", proj(u0, u_cost))
+                .field("reunion_norm", proj(r0, r_cost))
+                .field("checkpoint_norm", proj(c0, c_cost)),
+        );
         println!(
             "{:>12.0e} {:>10.4} {:>10.4} {:>12.4}",
             rate,
@@ -101,6 +136,15 @@ fn main() {
     println!("{:<22} {:>18}", "strategy", "cycles per error");
     println!("{:<22} {:>18.0}", "copy whole L1 (paper)", u_cost);
     println!("{:<22} {:>18.0}", "invalidate + refill", i_cost);
+    log.record(
+        Json::obj()
+            .field("l1_recovery_ablation", true)
+            .field("copy_whole_l1_cycles_per_error", u_cost)
+            .field("invalidate_refill_cycles_per_error", i_cost),
+    );
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
     println!("The invalidate-only variant shifts the cost into post-recovery cold misses,");
     println!("which the per-error figure above already includes (measured end to end).");
 }

@@ -1,16 +1,19 @@
 //! Runs every table and figure in sequence (the full evaluation).
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, runlog, ExperimentConfig, Json, RunLog, Runner};
 use unsync_workloads::Benchmark;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let results_dir = std::path::Path::new("results");
+    let results_dir = runlog::results_dir();
     let save = |name: &str, content: &str| {
-        if results_dir.is_dir() {
+        if std::fs::create_dir_all(&results_dir).is_ok() {
             let _ = std::fs::write(results_dir.join(name), content);
         }
     };
+    let mut log = RunLog::start("all", cfg);
+    let tag =
+        |artifact: &str, rec: Json| Json::obj().field("artifact", artifact).field("data", rec);
 
     println!("==================== Table II ====================");
     println!("{}", unsync_hwcost::table2().render());
@@ -21,26 +24,56 @@ fn main() {
     let f4 = experiments::fig4(cfg);
     print!("{}", render::fig4(&f4));
     save("fig4.csv", &render::csv::fig4(&f4));
+    for r in &f4 {
+        log.record(tag("fig4", render::jsonl::fig4(r)));
+    }
 
     println!("==================== Fig. 5 ======================");
-    let f5_benches = [Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha, Benchmark::Bzip2];
+    let f5_benches = [
+        Benchmark::Ammp,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Bzip2,
+    ];
     let f5 = experiments::fig5(cfg, &f5_benches);
     print!("{}", render::fig5(&f5));
     save("fig5.csv", &render::csv::fig5(&f5));
+    for c in &f5 {
+        log.record(tag("fig5", render::jsonl::fig5(c)));
+    }
 
     println!("==================== Fig. 6 ======================");
     let f6_benches = [Benchmark::Qsort, Benchmark::Rijndael, Benchmark::Bzip2];
     let f6 = experiments::fig6(cfg, &f6_benches);
     print!("{}", render::fig6(&f6));
     save("fig6.csv", &render::csv::fig6(&f6));
+    for r in &f6 {
+        log.record(tag("fig6", render::jsonl::fig6(r)));
+    }
 
     println!("==================== §VI-C =======================");
-    let ser_benches =
-        [Benchmark::Bzip2, Benchmark::Gzip, Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha];
+    let ser_benches = [
+        Benchmark::Bzip2,
+        Benchmark::Gzip,
+        Benchmark::Ammp,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+    ];
     let sweep = experiments::ser_sweep(cfg, &ser_benches);
     print!("{}", render::ser(&sweep));
     save("ser_sweep.csv", &render::csv::ser(&sweep));
+    for rec in render::jsonl::ser(&sweep) {
+        log.record(tag("ser_sweep", rec));
+    }
 
     println!("==================== §VI-D =======================");
-    print!("{}", render::roec(&experiments::roec(cfg, 40)));
+    let report = experiments::roec(cfg, 40);
+    print!("{}", render::roec(&report));
+    for rec in render::jsonl::roec(&report) {
+        log.record(tag("roec", rec));
+    }
+
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
 }

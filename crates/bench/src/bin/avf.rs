@@ -2,7 +2,7 @@
 //! vulnerability each scheme leaves, weighted by how often struck bits
 //! actually hold live data.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_fault::avf;
 use unsync_fault::Coverage;
 use unsync_sim::{run_baseline, CoreConfig};
@@ -10,12 +10,28 @@ use unsync_workloads::{Benchmark, WorkloadGen};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    println!("AVF-weighted vulnerability ({} instructions per benchmark)", cfg.inst_count);
+    println!(
+        "AVF-weighted vulnerability ({} instructions per benchmark)",
+        cfg.inst_count
+    );
     println!(
         "{:<12} {:>8} {:>8} {:>9}   {:>14} {:>14} {:>14}",
-        "benchmark", "RF AVF", "ROB AVF", "L1 reuse", "baseline SDC%", "Reunion SDC%", "UnSync SDC%"
+        "benchmark",
+        "RF AVF",
+        "ROB AVF",
+        "L1 reuse",
+        "baseline SDC%",
+        "Reunion SDC%",
+        "UnSync SDC%"
     );
-    for bench in [Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Mcf, Benchmark::Sha, Benchmark::Qsort] {
+    let mut log = RunLog::start("avf", cfg);
+    for bench in [
+        Benchmark::Bzip2,
+        Benchmark::Galgel,
+        Benchmark::Mcf,
+        Benchmark::Sha,
+        Benchmark::Qsort,
+    ] {
         let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
         let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
         let sim = run_baseline(CoreConfig::table1(), &mut s);
@@ -29,6 +45,16 @@ fn main() {
             sim.core.avg_rob_occupancy() / core.rob_size as f64 * 0.5,
         );
         let split = |c: Coverage| avf::SdcDueSplit::compute(&est, &c).sdc_fraction() * 100.0;
+        log.record(
+            Json::obj()
+                .field("benchmark", bench.name())
+                .field("rf_avf", est.register_file)
+                .field("rob_avf", est.rob)
+                .field("l1_reuse", est.l1_data)
+                .field("baseline_sdc_pct", split(Coverage::baseline()))
+                .field("reunion_sdc_pct", split(Coverage::reunion()))
+                .field("unsync_sdc_pct", split(Coverage::unsync())),
+        );
         println!(
             "{:<12} {:>8.3} {:>8.3} {:>9.3}   {:>13.1}% {:>13.1}% {:>13.1}%",
             bench.name(),
@@ -42,4 +68,7 @@ fn main() {
     }
     println!("\nReading: UnSync's placement drives AVF-weighted silent corruption to zero;");
     println!("Reunion's residual SDC comes from the ARF and TLB it leaves uncovered.");
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
 }

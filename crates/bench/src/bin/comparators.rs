@@ -2,19 +2,22 @@
 //! side by side: tight lockstep (§II mainframes), Reunion, coarse
 //! checkpointing (Smolens 2004) and UnSync.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_mem::WritePolicy;
-use unsync_reunion::{
-    CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair,
-};
+use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
 use unsync_sim::{run_baseline, run_stream, CoreConfig};
 use unsync_workloads::{Benchmark, WorkloadGen};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let benches =
-        [Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Sha, Benchmark::Mcf, Benchmark::Qsort];
+    let benches = [
+        Benchmark::Bzip2,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Mcf,
+        Benchmark::Qsort,
+    ];
     println!(
         "Error-free runtime overhead vs baseline ({} instructions)",
         cfg.inst_count
@@ -23,10 +26,13 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>12} {:>10}",
         "benchmark", "lockstep", "Reunion", "checkpoint", "UnSync"
     );
+    let mut log = RunLog::start("comparators", cfg);
     for bench in benches {
         let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
         let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-        let base = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle as f64;
+        let base = run_baseline(CoreConfig::table1(), &mut s)
+            .core
+            .last_commit_cycle as f64;
         let pct = |cycles: u64| (cycles as f64 / base - 1.0) * 100.0;
 
         let lockstep = LockstepPair::new(CoreConfig::table1()).run(&t).cycles;
@@ -36,13 +42,26 @@ fn main() {
         let ckpt = {
             let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
             let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
-            run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough)
-                .core
-                .last_commit_cycle
+            run_stream(
+                CoreConfig::table1(),
+                &mut s,
+                &mut hooks,
+                WritePolicy::WriteThrough,
+            )
+            .core
+            .last_commit_cycle
         };
         let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
             .run(&t, &[])
             .cycles;
+        log.record(
+            Json::obj()
+                .field("benchmark", bench.name())
+                .field("lockstep_overhead_pct", pct(lockstep))
+                .field("reunion_overhead_pct", pct(reunion))
+                .field("checkpoint_overhead_pct", pct(ckpt))
+                .field("unsync_overhead_pct", pct(unsync)),
+        );
         println!(
             "{:<12} {:>9.2}% {:>9.2}% {:>11.2}% {:>9.2}%",
             bench.name(),
@@ -51,6 +70,9 @@ fn main() {
             pct(ckpt),
             pct(unsync)
         );
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
     }
     println!("\nReading: runtime coupling orders by synchronization frequency, but runtime");
     println!("is not the whole story. Lockstep's modest cycle overhead hides its real cost:");

@@ -2,7 +2,7 @@
 //! an UnSync pair can be *downclocked to Reunion's throughput* and bank
 //! the voltage savings on top of Table II's power advantage.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_hwcost::{CoreModel, DvfsModel};
 use unsync_reunion::{ReunionConfig, ReunionPair};
@@ -22,7 +22,13 @@ fn main() {
         "{:<12} {:>10} {:>12} {:>14} {:>14} {:>12}",
         "benchmark", "iso f GHz", "P(UnSync) W", "P(iso) W", "P(Reunion) W", "saving"
     );
-    for bench in [Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Sha, Benchmark::Qsort] {
+    let mut log = RunLog::start("dvfs", cfg);
+    for bench in [
+        Benchmark::Bzip2,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Qsort,
+    ] {
         let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
         let u_cycles = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
             .run(&t, &[])
@@ -42,6 +48,15 @@ fn main() {
         let p_full = 2.0 * dvfs.power_at(&unsync, f_nom);
         let p_iso = 2.0 * dvfs.power_at(&unsync, f_iso.min(f_nom));
         let p_reunion = 2.0 * dvfs.power_at(&reunion, f_nom);
+        log.record(
+            Json::obj()
+                .field("benchmark", bench.name())
+                .field("iso_freq_ghz", f_iso / 1e9)
+                .field("unsync_pair_power_w", p_full)
+                .field("iso_pair_power_w", p_iso)
+                .field("reunion_pair_power_w", p_reunion)
+                .field("saving_fraction", 1.0 - p_iso / p_reunion),
+        );
         println!(
             "{:<12} {:>10.2} {:>12.2} {:>14.2} {:>14.2} {:>11.1}%",
             bench.name(),
@@ -51,6 +66,9 @@ fn main() {
             p_reunion,
             (1.0 - p_iso / p_reunion) * 100.0
         );
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
     }
     println!("\nReading: matching Reunion's throughput lets the UnSync pair shed frequency");
     println!("AND voltage; the last column is the total pair-power saving vs a Reunion pair");

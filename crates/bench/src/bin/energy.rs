@@ -1,6 +1,7 @@
 //! Runtime-integrated energy comparison: Table II's power numbers ×
 //! simulated runtimes ⇒ energy and EDP per configuration per benchmark.
 
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_hwcost::{CoreModel, EnergyReport};
 use unsync_reunion::{ReunionConfig, ReunionPair};
@@ -10,7 +11,19 @@ use unsync_workloads::{Benchmark, WorkloadGen};
 fn main() {
     let insts = 100_000u64;
     let clock_hz = CoreConfig::table1().clock_ghz * 1e9;
-    let benches = [Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Sha, Benchmark::Mcf];
+    let benches = [
+        Benchmark::Bzip2,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Mcf,
+    ];
+    let mut log = RunLog::start(
+        "energy",
+        ExperimentConfig {
+            inst_count: insts,
+            seed: 1,
+        },
+    );
 
     println!("Energy accounting ({insts} instructions per benchmark, 2 GHz)");
     println!(
@@ -20,7 +33,9 @@ fn main() {
     for bench in benches {
         let t = WorkloadGen::new(bench, insts, 1).collect_trace();
         let mut s = WorkloadGen::new(bench, insts, 1);
-        let base_cycles = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle;
+        let base_cycles = run_baseline(CoreConfig::table1(), &mut s)
+            .core
+            .last_commit_cycle;
         let unsync_cycles = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
             .run(&t, &[])
             .cycles;
@@ -36,6 +51,16 @@ fn main() {
         ];
         let base_edp = reports[0].edp;
         for r in &reports {
+            log.record(
+                Json::obj()
+                    .field("benchmark", bench.name())
+                    .field("config", r.name)
+                    .field("cores", r.cores)
+                    .field("power_w", r.power_w)
+                    .field("energy_mj", r.energy_j * 1e3)
+                    .field("nj_per_inst", r.energy_per_inst_nj)
+                    .field("edp_rel", r.edp / base_edp),
+            );
             println!(
                 "{:<10} {:<12} {:>8} {:>10.2} {:>12.3} {:>14.2} {:>12.2}",
                 bench.name(),
@@ -50,4 +75,7 @@ fn main() {
     }
     println!("\nReading: redundancy inherently doubles core energy; UnSync's pair stays");
     println!("close to 2× baseline while Reunion compounds higher power with longer runtime.");
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
 }

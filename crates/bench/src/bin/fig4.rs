@@ -1,15 +1,20 @@
 //! Regenerates Fig. 4: per-benchmark runtime overhead of Reunion and
 //! UnSync over the baseline CMP (serializing-instruction sensitivity).
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    let mut log = RunLog::start("fig4", cfg);
     let rows = experiments::fig4(cfg);
     print!("{}", render::fig4(&rows));
+    for r in &rows {
+        log.record(render::jsonl::fig4(r));
+    }
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
     println!();
-    println!(
-        "Paper claims: Reunion averages ~8 % and exceeds 10 % on bzip2 (2 % serializing),"
-    );
+    println!("Paper claims: Reunion averages ~8 % and exceeds 10 % on bzip2 (2 % serializing),");
     println!("ammp (1.7 %) and galgel (1 %, worst — ROB occupancy); UnSync stays ~2 %.");
 }

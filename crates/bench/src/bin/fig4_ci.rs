@@ -4,8 +4,16 @@
 //! The single-seed `fig4` binary is deterministic; this one shows how
 //! much of each number is workload-draw noise.
 
-use unsync_bench::{experiments, stats, ExperimentConfig};
+use unsync_bench::{experiments, stats, ExperimentConfig, Json, RunLog, Runner};
 use unsync_workloads::Benchmark;
+
+fn summary_json(s: &stats::Summary) -> Json {
+    Json::obj()
+        .field("n", s.n)
+        .field("mean", s.mean)
+        .field("stddev", s.stddev)
+        .field("ci95", s.ci95)
+}
 
 fn main() {
     let base = ExperimentConfig::from_env();
@@ -15,6 +23,8 @@ fn main() {
         seeds.len(),
         base.inst_count
     );
+
+    let mut log = RunLog::start("fig4_ci", base);
 
     // One full fig4 per seed, in parallel.
     let runs = stats::multi_seed(&seeds, |seed| {
@@ -28,17 +38,39 @@ fn main() {
     let mut all_r = Vec::new();
     let mut all_u = Vec::new();
     for (i, bench) in Benchmark::all().iter().enumerate() {
-        let r: Vec<f64> = runs.iter().map(|rows| rows[i].reunion_overhead * 100.0).collect();
-        let u: Vec<f64> = runs.iter().map(|rows| rows[i].unsync_overhead * 100.0).collect();
+        let r: Vec<f64> = runs
+            .iter()
+            .map(|rows| rows[i].reunion_overhead * 100.0)
+            .collect();
+        let u: Vec<f64> = runs
+            .iter()
+            .map(|rows| rows[i].unsync_overhead * 100.0)
+            .collect();
         let (sr, su) = (stats::Summary::of(&r), stats::Summary::of(&u));
         all_r.extend_from_slice(&r);
         all_u.extend_from_slice(&u);
-        println!("{:<14} {:>20} {:>20}", bench.name(), sr.display(), su.display());
+        println!(
+            "{:<14} {:>20} {:>20}",
+            bench.name(),
+            sr.display(),
+            su.display()
+        );
+        log.record(
+            Json::obj()
+                .field("benchmark", bench.name())
+                .field("reunion_overhead_pct", summary_json(&sr))
+                .field("unsync_overhead_pct", summary_json(&su)),
+        );
     }
-    println!(
-        "{:<14} {:>20} {:>20}",
-        "ALL",
-        stats::Summary::of(&all_r).display(),
-        stats::Summary::of(&all_u).display()
+    let (sr, su) = (stats::Summary::of(&all_r), stats::Summary::of(&all_u));
+    println!("{:<14} {:>20} {:>20}", "ALL", sr.display(), su.display());
+    log.record(
+        Json::obj()
+            .field("benchmark", "ALL")
+            .field("reunion_overhead_pct", summary_json(&sr))
+            .field("unsync_overhead_pct", summary_json(&su)),
     );
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
 }

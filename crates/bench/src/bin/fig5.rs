@@ -1,17 +1,29 @@
 //! Regenerates Fig. 5: Reunion performance vs. fingerprint interval and
 //! comparison latency (ROB-occupancy sensitivity).
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 use unsync_workloads::Benchmark;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     // The paper highlights ammp and galgel; a cache-resident MiBench
     // kernel and a memory-bound code complete the picture.
-    let benches =
-        [Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha, Benchmark::Bzip2, Benchmark::Mcf];
+    let benches = [
+        Benchmark::Ammp,
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Bzip2,
+        Benchmark::Mcf,
+    ];
+    let mut log = RunLog::start("fig5", cfg);
     let cells = experiments::fig5(cfg, &benches);
     print!("{}", render::fig5(&cells));
+    for c in &cells {
+        log.record(render::jsonl::fig5(c));
+    }
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
     println!();
     println!("Paper claims: at FI=30/latency=40 ammp degrades ~27 % and galgel ~41 %;");
     println!("UnSync is flat (no fingerprints, no inter-core comparison).");

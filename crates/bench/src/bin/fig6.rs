@@ -1,16 +1,28 @@
 //! Regenerates Fig. 6: UnSync performance across Communication-Buffer
 //! sizes.
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 use unsync_workloads::Benchmark;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     // Store-heavy workloads pressure the CB hardest.
-    let benches =
-        [Benchmark::Qsort, Benchmark::Rijndael, Benchmark::Bzip2, Benchmark::Gzip, Benchmark::Stringsearch];
+    let benches = [
+        Benchmark::Qsort,
+        Benchmark::Rijndael,
+        Benchmark::Bzip2,
+        Benchmark::Gzip,
+        Benchmark::Stringsearch,
+    ];
+    let mut log = RunLog::start("fig6", cfg);
     let rows = experiments::fig6(cfg, &benches);
     print!("{}", render::fig6(&rows));
+    for r in &rows {
+        log.record(render::jsonl::fig6(r));
+    }
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
     println!();
     println!("Paper claims: small CBs stall the cores; 2 KB / 4 KB buffers eliminate the");
     println!("resource-occupancy bottleneck (runtime ≈ baseline).");

@@ -2,7 +2,7 @@
 //! cache blocks"): adjacent double-bit strikes on the L1 defeat the
 //! paper's 1-bit line parity, and what upgrading to SECDED costs.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{L1Protection, UnsyncConfig, UnsyncPair};
 use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
 use unsync_hwcost::{CacheModel, CacheProtection};
@@ -19,10 +19,15 @@ fn main() {
         "{:<22} {:>10} {:>12} {:>10} {:>9}",
         "L1 protection", "detected", "recoveries", "silent", "correct"
     );
-    for (label, prot) in
-        [("line parity (paper)", L1Protection::LineParity), ("SECDED (§VIII)", L1Protection::Secded)]
-    {
-        let ucfg = UnsyncConfig { l1_protection: prot, ..UnsyncConfig::paper_baseline() };
+    let mut log = RunLog::start("mbu", cfg);
+    for (label, prot) in [
+        ("line parity (paper)", L1Protection::LineParity),
+        ("SECDED (§VIII)", L1Protection::Secded),
+    ] {
+        let ucfg = UnsyncConfig {
+            l1_protection: prot,
+            ..UnsyncConfig::paper_baseline()
+        };
         let pair = UnsyncPair::new(CoreConfig::table1(), ucfg);
         let (mut det, mut rec, mut silent, mut correct) = (0u64, 0u64, 0u64, 0u64);
         for i in 0..campaigns {
@@ -41,6 +46,15 @@ fn main() {
             silent += out.silent_faults;
             correct += u64::from(out.correct());
         }
+        log.record(
+            Json::obj()
+                .field("l1_protection", label)
+                .field("campaigns", campaigns)
+                .field("detected", det)
+                .field("recoveries", rec)
+                .field("silent", silent)
+                .field("correct", correct),
+        );
         println!(
             "{:<22} {:>10} {:>12} {:>10} {:>6}/{campaigns}",
             label, det, rec, silent, correct
@@ -49,6 +63,17 @@ fn main() {
 
     let parity = CacheModel::l1(CacheProtection::parity_per_256());
     let secded = CacheModel::l1(CacheProtection::Secded);
+    log.record(
+        Json::obj()
+            .field("hw_cost", true)
+            .field("parity_area_mm2", parity.area_mm2())
+            .field("secded_area_mm2", secded.area_mm2())
+            .field("parity_power_mw", parity.power_mw())
+            .field("secded_power_mw", secded.power_mw()),
+    );
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
     println!(
         "\nhardware cost of closing the hole: L1 {:.4} → {:.4} mm² (+{:.1}%), \
          {:.2} → {:.2} mW (+{:.1}%)",

@@ -1,7 +1,7 @@
 //! Workload characterization: baseline IPC, cache miss rates and stall
 //! breakdown per benchmark — the substrate numbers behind Figures 4–6.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_sim::{run_baseline, CoreConfig};
 use unsync_workloads::{Benchmark, WorkloadGen};
 
@@ -15,9 +15,21 @@ fn main() {
         "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
         "benchmark", "IPC", "L1D miss", "L2 miss", "ROB occ", "ROB sat", "IQ stalls", "ser stl"
     );
+    let mut log = RunLog::start("memstats", cfg);
     for &bench in Benchmark::all() {
         let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
         let r = run_baseline(CoreConfig::table1(), &mut s);
+        log.record(
+            Json::obj()
+                .field("benchmark", bench.name())
+                .field("ipc", r.ipc())
+                .field("l1d_miss_rate", r.l1d_miss_rate)
+                .field("l2_miss_rate", r.l2_miss_rate)
+                .field("avg_rob_occupancy", r.core.avg_rob_occupancy())
+                .field("rob_saturation_fraction", r.core.rob_saturation_fraction())
+                .field("iq_full_cycles", r.core.iq_full_cycles)
+                .field("serialize_stall_cycles", r.core.serialize_stall_cycles),
+        );
         println!(
             "{:<14} {:>7.3} {:>8.2}% {:>8.2}% {:>9.1} {:>8.1}% {:>10} {:>9}",
             bench.name(),
@@ -32,4 +44,7 @@ fn main() {
     }
     println!("\n(ROB sat = fraction of dispatches finding the ROB completely full — the");
     println!("precondition for Fig. 5's CHECK-stage back-pressure argument.)");
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
 }

@@ -1,12 +1,19 @@
 //! Regenerates §VI-D: the region-of-error-coverage comparison via fault
 //! injection on both architectures.
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    let mut log = RunLog::start("roec", cfg);
     let report = experiments::roec(cfg, 60);
     print!("{}", render::roec(&report));
+    for rec in render::jsonl::roec(&report) {
+        log.record(rec);
+    }
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
     println!();
     println!("Paper claims: both architectures execute correctly in the presence of the");
     println!("errors they cover, but Reunion's ROEC stops at the pre-commit pipeline");

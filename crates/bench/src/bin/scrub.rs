@@ -2,10 +2,12 @@
 //! for its "always a correct copy" role in UnSync's recovery story to
 //! hold at a given reliability budget.
 
+use unsync_bench::{Json, RunLog};
 use unsync_fault::ScrubModel;
 
 fn main() {
     let m = ScrubModel::l2_table1();
+    let mut log = RunLog::start_static("scrub");
     println!(
         "Shared L2 ({} codewords × {} bits, {} FIT/bit raw rate)",
         m.codewords, m.codeword_bits, m.fit_per_bit
@@ -20,14 +22,27 @@ fn main() {
         ("1 year", 31_536_000.0),
     ] {
         println!("{label:>16} {:>24.6}", m.uncorrectable_fit(secs));
+        log.record(
+            Json::obj()
+                .field("scrub_period_s", secs)
+                .field("uncorrectable_fit", m.uncorrectable_fit(secs)),
+        );
     }
     for target in [1.0, 0.01] {
         let t = m.required_scrub_interval(target);
+        log.record(
+            Json::obj()
+                .field("target_fit", target)
+                .field("required_scrub_interval_s", t),
+        );
         println!(
             "\nto keep the whole L2 at ≤ {target} FIT of uncorrectable errors, scrub every \
              {:.1} hours",
             t / 3_600.0
         );
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
     }
     println!("\nReading: double-strike accumulation is quadratic in the scrub period, so even");
     println!("leisurely scrub rates keep the SECDED L2 effectively error-free — which is what");

@@ -2,7 +2,7 @@
 //! the Table I machine? Sweeps core width and ROB depth and re-measures
 //! the Reunion/UnSync overheads on the serializing-heavy trio.
 
-use unsync_bench::ExperimentConfig;
+use unsync_bench::{ExperimentConfig, Json, RunLog};
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_reunion::{ReunionConfig, ReunionPair};
 use unsync_sim::{run_baseline, CoreConfig};
@@ -51,6 +51,7 @@ fn main() {
         "{:<10} {:>22} {:>22}",
         "machine", "Reunion ovh (avg)", "UnSync ovh (avg)"
     );
+    let mut log = RunLog::start("sensitivity", cfg);
     for name in ["2-wide", "rob-64", "table1", "rob-256", "6-wide"] {
         let core = variant(name);
         let (mut r_sum, mut u_sum) = (0.0, 0.0);
@@ -58,17 +59,36 @@ fn main() {
             let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
             let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
             let base = run_baseline(core, &mut s).core.last_commit_cycle as f64;
-            let r = ReunionPair::new(core, ReunionConfig::paper_baseline()).run(&t, &[]).cycles;
-            let u = UnsyncPair::new(core, UnsyncConfig::paper_baseline()).run(&t, &[]).cycles;
+            let r = ReunionPair::new(core, ReunionConfig::paper_baseline())
+                .run(&t, &[])
+                .cycles;
+            let u = UnsyncPair::new(core, UnsyncConfig::paper_baseline())
+                .run(&t, &[])
+                .cycles;
             r_sum += r as f64 / base - 1.0;
             u_sum += u as f64 / base - 1.0;
         }
+        log.record(
+            Json::obj()
+                .field("machine", name)
+                .field(
+                    "reunion_overhead_avg_pct",
+                    r_sum / benches.len() as f64 * 100.0,
+                )
+                .field(
+                    "unsync_overhead_avg_pct",
+                    u_sum / benches.len() as f64 * 100.0,
+                ),
+        );
         println!(
             "{:<10} {:>21.2}% {:>21.2}%",
             name,
             r_sum / benches.len() as f64 * 100.0,
             u_sum / benches.len() as f64 * 100.0
         );
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
     }
     println!("\nReading: the ordering (Reunion pays double digits on serializing workloads,");
     println!("UnSync stays near zero) is robust across machine widths and window depths —");

@@ -1,7 +1,7 @@
 //! Regenerates §VI-C: projected IPC across soft-error rates and the
 //! break-even SER between the two architectures.
 
-use unsync_bench::{experiments, render, ExperimentConfig};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 use unsync_workloads::Benchmark;
 
 fn main() {
@@ -16,8 +16,15 @@ fn main() {
         Benchmark::Dijkstra,
         Benchmark::Fft,
     ];
+    let mut log = RunLog::start("ser_sweep", cfg);
     let sweep = experiments::ser_sweep(cfg, &benches);
     print!("{}", render::ser(&sweep));
+    for rec in render::jsonl::ser(&sweep) {
+        log.record(rec);
+    }
+    if let Some(p) = log.write(Runner::from_env().workers()) {
+        eprintln!("run log: {}", p.display());
+    }
     println!();
     println!("Paper claims: IPC does not vary from SER 1e-7 to 1e-17 (or lower); UnSync");
     println!("outperforms Reunion throughout; the hypothetical break-even is 1.29e-3.");

@@ -1,19 +1,31 @@
 //! Regenerates Table I: the simulated baseline CMP parameters.
 
+use unsync_bench::{render, RunLog};
 use unsync_mem::HierarchyConfig;
 use unsync_sim::CoreConfig;
 
 fn main() {
     let core = CoreConfig::table1();
     let mem = HierarchyConfig::table1();
+    let mut log = RunLog::start_static("table1");
+    log.record(render::jsonl::table1());
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
     println!("Table I — simulated baseline CMP parameters");
-    println!("{:<18} 4 logical cores, Alpha 21264-class", "Processor Cores");
+    println!(
+        "{:<18} 4 logical cores, Alpha 21264-class",
+        "Processor Cores"
+    );
     println!(
         "{:<18} {:.0} GHz, 5-stage pipeline; out-of-order, {}-wide fetch/issue/commit",
         "", core.clock_ghz, core.fetch_width
     );
     println!("{:<18} {}", "Issue Queue", core.iq_size);
-    println!("{:<18} ROB {}, LSQ {}", "Windows", core.rob_size, core.lsq_size);
+    println!(
+        "{:<18} ROB {}, LSQ {}",
+        "Windows", core.rob_size, core.lsq_size
+    );
     println!(
         "{:<18} {} KB split I/D, {}-way, {} MSHRs, {}-cycle access, {}-byte lines",
         "L1 Cache",
@@ -32,8 +44,14 @@ fn main() {
         mem.l2.hit_latency,
         mem.l2.mshrs
     );
-    println!("{:<18} {} entries, {}-way", "I-TLB", mem.itlb.entries, mem.itlb.assoc);
-    println!("{:<18} {} entries, {}-way", "D-TLB", mem.dtlb.entries, mem.dtlb.assoc);
+    println!(
+        "{:<18} {} entries, {}-way",
+        "I-TLB", mem.itlb.entries, mem.itlb.assoc
+    );
+    println!(
+        "{:<18} {} entries, {}-way",
+        "D-TLB", mem.dtlb.entries, mem.dtlb.assoc
+    );
     println!(
         "{:<18} {}-bit wide, {} cycles access latency",
         "Memory",

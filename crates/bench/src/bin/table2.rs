@@ -1,9 +1,36 @@
 //! Regenerates Table II: hardware overhead comparison (area/power) of the
 //! baseline MIPS, Reunion and UnSync cores at 65 nm / 300 MHz.
 
+use unsync_bench::{Json, RunLog};
+
+fn row(r: &unsync_hwcost::Table2Row) -> Json {
+    Json::obj()
+        .field("config", r.name)
+        .field("core_area_um2", r.core_area_um2)
+        .field("l1_area_mm2", r.l1_area_mm2)
+        .field("cb_area_mm2", r.cb_area_mm2.map_or(Json::Null, Json::F64))
+        .field("total_area_um2", r.total_area_um2)
+        .field(
+            "area_overhead_pct",
+            r.area_overhead_pct.map_or(Json::Null, Json::F64),
+        )
+        .field("core_power_w", r.core_power_w)
+        .field("l1_power_mw", r.l1_power_mw)
+        .field("cb_power_mw", r.cb_power_mw.map_or(Json::Null, Json::F64))
+        .field("total_power_w", r.total_power_w)
+}
+
 fn main() {
     println!("Table II — hardware overhead comparison (65 nm, 300 MHz, post-PNR model)");
-    println!("{}", unsync_hwcost::table2().render());
+    let t = unsync_hwcost::table2();
+    println!("{}", t.render());
+    let mut log = RunLog::start_static("table2");
+    for r in [&t.basic, &t.reunion, &t.unsync] {
+        log.record(row(r));
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
     println!("Paper reference values: Reunion +20.77 % area / +74.79 % power;");
     println!("UnSync +7.45 % area / +40.34 % power; CB 0.00387 mm² / 0.77258 mW.");
 }

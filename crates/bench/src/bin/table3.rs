@@ -1,8 +1,27 @@
 //! Regenerates Table III: projected die sizes of published many-core
 //! processors under the two error-resilient implementations.
 
+use unsync_bench::{Json, RunLog};
+
 fn main() {
     println!("Table III — projected die sizes under Reunion / UnSync");
-    println!("{}", unsync_hwcost::table3().render());
+    let t = unsync_hwcost::table3();
+    println!("{}", t.render());
+    let mut log = RunLog::start_static("table3");
+    for p in &t.rows {
+        log.record(
+            Json::obj()
+                .field("chip", p.chip.name)
+                .field("node_nm", p.chip.node_nm)
+                .field("cores", p.chip.cores)
+                .field("die_area_mm2", p.chip.die_area_mm2)
+                .field("reunion_mm2", p.reunion_mm2)
+                .field("unsync_mm2", p.unsync_mm2)
+                .field("difference_mm2", p.reunion_mm2 - p.unsync_mm2),
+        );
+    }
+    if let Some(p) = log.write(1) {
+        eprintln!("run log: {}", p.display());
+    }
     println!("Paper reference: differences 26.64 / 30.69 / 51.15 mm².");
 }

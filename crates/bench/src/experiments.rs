@@ -5,8 +5,10 @@ use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_fault::{Coverage, FaultTarget, PairFault, SerRate};
 use unsync_isa::TraceProgram;
 use unsync_reunion::{ReunionConfig, ReunionPair};
-use unsync_sim::{run_baseline, CoreConfig};
+use unsync_sim::CoreConfig;
 use unsync_workloads::{Benchmark, WorkloadGen};
+
+use crate::runner::Runner;
 
 /// Common knobs for the simulation experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -19,14 +21,20 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { inst_count: 100_000, seed: 1 }
+        ExperimentConfig {
+            inst_count: 100_000,
+            seed: 1,
+        }
     }
 }
 
 impl ExperimentConfig {
-    /// A smaller configuration for Criterion benches and smoke tests.
+    /// A smaller configuration for micro-benches and smoke tests.
     pub fn quick() -> Self {
-        ExperimentConfig { inst_count: 10_000, seed: 1 }
+        ExperimentConfig {
+            inst_count: 10_000,
+            seed: 1,
+        }
     }
 
     /// Reads overrides from the environment: `UNSYNC_INSTS` and
@@ -47,32 +55,24 @@ impl ExperimentConfig {
     }
 }
 
+/// Baseline cycles for one benchmark trace — memoized process-wide so
+/// every figure normalizing against the same baseline shares one
+/// simulation (see [`crate::runner::baseline_cycles`]).
 fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
-    let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-    run_baseline(CoreConfig::table1(), &mut stream).core.last_commit_cycle
+    crate::runner::baseline_cycles(bench, cfg)
 }
 
 fn trace(bench: Benchmark, cfg: ExperimentConfig) -> TraceProgram {
     WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace()
 }
 
-/// Runs `f` once per benchmark, in parallel, preserving benchmark order.
-fn per_benchmark<T, F>(benches: &[Benchmark], f: F) -> Vec<T>
+/// Runs `f` once per benchmark on `runner`, preserving benchmark order.
+fn per_benchmark<T, F>(runner: Runner, benches: &[Benchmark], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Benchmark) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = benches.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot, &bench) in out.iter_mut().zip(benches) {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(bench));
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    out.into_iter().map(|x| x.expect("worker filled slot")).collect()
+    runner.map(benches, |&bench| f(bench))
 }
 
 // ───────────────────────────── Figure 4 ─────────────────────────────────
@@ -97,11 +97,17 @@ pub struct Fig4Row {
 /// averages ≈8 % and exceeds 10 % on bzip2/ammp/galgel (which have 2 %,
 /// 1.7 % and 1 % serializing instructions); UnSync stays ≈2 %.
 pub fn fig4(cfg: ExperimentConfig) -> Vec<Fig4Row> {
-    per_benchmark(Benchmark::all(), |bench| {
+    fig4_on(Runner::from_env(), cfg)
+}
+
+/// [`fig4`] on an explicit runner — results are identical at any worker
+/// count (the determinism regression tests rely on this).
+pub fn fig4_on(runner: Runner, cfg: ExperimentConfig) -> Vec<Fig4Row> {
+    per_benchmark(runner, Benchmark::all(), |bench| {
         let t = trace(bench, cfg);
         let base = baseline_cycles(bench, cfg) as f64;
-        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
-            .run(&t, &[]);
+        let reunion =
+            ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline()).run(&t, &[]);
         let unsync =
             UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
         Fig4Row {
@@ -141,22 +147,26 @@ pub const FIG5_POINTS: [(u32, u32); 5] = [(1, 10), (5, 15), (10, 20), (20, 30), 
 /// latency. The paper: ammp and galgel degrade steeply (ROB saturation),
 /// reaching −27 % and −41 % at (30, 40); UnSync is flat.
 pub fn fig5(cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig5Cell> {
+    fig5_on(Runner::from_env(), cfg, benches)
+}
+
+/// [`fig5`] on an explicit runner.
+pub fn fig5_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig5Cell> {
     let mut cells = Vec::new();
     for &(fi, latency) in &FIG5_POINTS {
-        let mut row = per_benchmark(benches, |bench| {
+        let mut row = per_benchmark(runner, benches, |bench| {
             let t = trace(bench, cfg);
             let base = baseline_cycles(bench, cfg) as f64;
             let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-            let mut hooks =
-                unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, latency));
+            let mut hooks = unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, latency));
             let reunion = unsync_sim::run_stream(
                 CoreConfig::table1(),
                 &mut stream,
                 &mut hooks,
                 unsync_mem::WritePolicy::WriteThrough,
             );
-            let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
-                .run(&t, &[]);
+            let unsync =
+                UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
             Fig5Cell {
                 bench: bench.name(),
                 fi,
@@ -194,10 +204,15 @@ pub const FIG6_SIZES: [usize; 6] = [16, 64, 256, 1024, 2048, 4096];
 /// Fig. 6: UnSync runtime across CB sizes. The paper: small CBs stall the
 /// cores; 2 KB / 4 KB buffers eliminate the bottleneck entirely.
 pub fn fig6(cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig6Row> {
+    fig6_on(Runner::from_env(), cfg, benches)
+}
+
+/// [`fig6`] on an explicit runner.
+pub fn fig6_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for &bytes in &FIG6_SIZES {
         let entries = UnsyncConfig::cb_entries_for_bytes(bytes);
-        let mut row = per_benchmark(benches, |bench| {
+        let mut row = per_benchmark(runner, benches, |bench| {
             let t = trace(bench, cfg);
             let base = baseline_cycles(bench, cfg) as f64;
             let out = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries))
@@ -242,8 +257,13 @@ pub struct SerSweep {
 /// cost, then project. Uses recoverable in-pipeline faults (ROB strikes)
 /// to measure the per-event costs.
 pub fn ser_sweep(cfg: ExperimentConfig, benches: &[Benchmark]) -> SerSweep {
+    ser_sweep_on(Runner::from_env(), cfg, benches)
+}
+
+/// [`ser_sweep`] on an explicit runner.
+pub fn ser_sweep_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]) -> SerSweep {
     // Per-benchmark error-free cycles and per-event costs, averaged.
-    let measures = per_benchmark(benches, |bench| {
+    let measures = per_benchmark(runner, benches, |bench| {
         let t = trace(bench, cfg);
         let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
         let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
@@ -258,7 +278,9 @@ pub fn ser_sweep(cfg: ExperimentConfig, benches: &[Benchmark]) -> SerSweep {
                 site: unsync_fault::FaultSite {
                     target: FaultTarget::Rob,
                     bit_offset: 17 + i,
-                }, kind: unsync_fault::FaultKind::Single })
+                },
+                kind: unsync_fault::FaultKind::Single,
+            })
             .collect();
         let rk = reunion.run(&t, &faults);
         let uk = unsync.run(&t, &faults);
@@ -356,11 +378,16 @@ fn target_name(t: FaultTarget) -> &'static str {
 /// TLB strikes are snapped to store instructions (the mistranslated-store
 /// case is the one that escapes Reunion's fingerprint).
 pub fn roec(cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
+    roec_on(Runner::from_env(), cfg, campaigns)
+}
+
+/// [`roec`] on an explicit runner.
+pub fn roec_on(runner: Runner, cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
     let bench = Benchmark::Gzip;
     let t = trace(bench, cfg);
     let targets = unsync_fault::inject::ALL_TARGETS;
-    let faults: Vec<PairFault> =
-        (0..campaigns).map(|i| {
+    let faults: Vec<PairFault> = (0..campaigns)
+        .map(|i| {
             let mut f = PairFault::plan(cfg.seed.wrapping_add(0xabcd), i);
             f.site.target = targets[(i % targets.len() as u64) as usize];
             f.site.bit_offset %= f.site.target.bits();
@@ -369,19 +396,19 @@ pub fn roec(cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
             if f.site.target == FaultTarget::Tlb {
                 // Snap to the next store so the strike hits a store
                 // translation.
-                if let Some(st) =
-                    t.insts()[f.at as usize..].iter().find(|x| x.op.is_store())
-                {
+                if let Some(st) = t.insts()[f.at as usize..].iter().find(|x| x.op.is_store()) {
                     f.at = st.seq;
                 }
             }
             f
-        }).collect();
+        })
+        .collect();
 
     let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
     let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
 
     let results = per_benchmark(
+        runner,
         // Reuse the parallel helper by chunking campaigns over dummy
         // benchmark slots is awkward; run the two architectures in
         // parallel instead.
@@ -449,7 +476,10 @@ mod tests {
     use super::*;
 
     fn quick() -> ExperimentConfig {
-        ExperimentConfig { inst_count: 8_000, seed: 1 }
+        ExperimentConfig {
+            inst_count: 8_000,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -457,10 +487,8 @@ mod tests {
         let rows = fig4(quick());
         assert_eq!(rows.len(), unsync_workloads::Benchmark::all().len());
         // UnSync is cheaper than Reunion on average.
-        let avg_r: f64 =
-            rows.iter().map(|r| r.reunion_overhead).sum::<f64>() / rows.len() as f64;
-        let avg_u: f64 =
-            rows.iter().map(|r| r.unsync_overhead).sum::<f64>() / rows.len() as f64;
+        let avg_r: f64 = rows.iter().map(|r| r.reunion_overhead).sum::<f64>() / rows.len() as f64;
+        let avg_u: f64 = rows.iter().map(|r| r.unsync_overhead).sum::<f64>() / rows.len() as f64;
         assert!(avg_r > avg_u, "reunion {avg_r} vs unsync {avg_u}");
         assert!(avg_u < 0.05, "unsync must stay near-baseline: {avg_u}");
     }
@@ -490,7 +518,11 @@ mod tests {
         let s = ser_sweep(quick(), &[Benchmark::Gzip, Benchmark::Sha]);
         // Flat from 1e-17 to 1e-7 (the paper's observation).
         let ipc_at = |rate: f64, v: &[f64]| {
-            let i = s.rates.iter().position(|&r| (r - rate).abs() / rate < 1e-6).unwrap();
+            let i = s
+                .rates
+                .iter()
+                .position(|&r| (r - rate).abs() / rate < 1e-6)
+                .unwrap();
             v[i]
         };
         let u_lo = ipc_at(1e-17, &s.unsync_ipc);
@@ -508,7 +540,11 @@ mod tests {
         let r = roec(quick(), 12);
         assert!(r.unsync_roec > r.reunion_roec);
         assert_eq!(r.unsync.injected, 12);
-        assert_eq!(r.unsync.correct, 12, "UnSync recovers everything: {:?}", r.unsync);
+        assert_eq!(
+            r.unsync.correct, 12,
+            "UnSync recovers everything: {:?}",
+            r.unsync
+        );
         assert!(r.reunion.correct <= r.reunion.injected);
     }
 }

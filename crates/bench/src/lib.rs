@@ -7,19 +7,27 @@
 //! drivers and [`render`] the text output.
 //!
 //! Experiments that sweep independent simulations parallelize across
-//! configurations with crossbeam scoped threads; each simulation is
-//! itself single-threaded and deterministic, so results are identical to
-//! a sequential run.
+//! configurations through the [`runner`] module's fixed worker pool
+//! (`std::thread::scope`, no external crates); each simulation is
+//! itself single-threaded and deterministic and every job draws
+//! randomness only from its own seed-derived stream, so results are
+//! bit-identical at any worker count. Binaries additionally emit
+//! machine-readable JSONL run logs via [`runlog`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod render;
+pub mod runlog;
+pub mod runner;
 pub mod stats;
 
 pub use experiments::{
-    fig4, fig5, fig6, roec, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row,
-    RoecReport, SerSweep,
+    fig4, fig5, fig6, roec, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row, RoecReport,
+    SerSweep,
 };
+pub use runlog::{Json, RunLog};
+pub use runner::{baseline_cycles, job_seed, job_stream, Runner};
 pub use stats::{multi_seed, Summary};

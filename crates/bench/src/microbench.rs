@@ -1,0 +1,110 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Replaces the former Criterion benches so `cargo bench` still works
+//! with zero external crates. Each benchmark runs a short warm-up, then
+//! timed batches until a wall-clock budget is spent, and reports
+//! median / mean / min per-iteration times. Intentionally simple: no
+//! outlier rejection, no HTML — numbers on stdout for quick relative
+//! comparisons, not publication.
+//!
+//! `UNSYNC_BENCH_MS` overrides the per-benchmark measurement budget and
+//! `UNSYNC_BENCH_FILTER` (substring match) selects which benchmarks run.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench targets can `use unsync_bench::microbench::black_box`.
+pub use std::hint::black_box as bb;
+
+/// A group of related micro-benchmarks sharing one stdout table.
+pub struct Bench {
+    group: String,
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// A named group; reads `UNSYNC_BENCH_MS` / `UNSYNC_BENCH_FILTER`.
+    pub fn group(name: &str) -> Bench {
+        let ms = std::env::var("UNSYNC_BENCH_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(300);
+        let filter = std::env::var("UNSYNC_BENCH_FILTER")
+            .ok()
+            .filter(|f| !f.is_empty());
+        println!("## {name}");
+        Bench {
+            group: name.to_string(),
+            budget: Duration::from_millis(ms),
+            filter,
+        }
+    }
+
+    /// Times `f`, printing one result row. Wrap inputs/outputs in
+    /// [`black_box`] inside `f` to defeat constant folding.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{name}", self.group);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and batch sizing: grow the batch until it costs ≥ 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.budget;
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {full:<44} median {:>12}  mean {:>12}  min {:>12}  ({} samples × {batch})",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(samples[0]),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_across_scales() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

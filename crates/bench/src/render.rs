@@ -82,7 +82,10 @@ pub fn ser(sweep: &SerSweep) -> String {
         "per-error recovery cycles: Reunion {:.0} (rollback), UnSync {:.0} (always-forward copy)\n",
         sweep.per_error_cycles.0, sweep.per_error_cycles.1
     ));
-    s.push_str(&format!("{:>12} {:>14} {:>14}\n", "SER (/inst)", "Reunion IPC", "UnSync IPC"));
+    s.push_str(&format!(
+        "{:>12} {:>14} {:>14}\n",
+        "SER (/inst)", "Reunion IPC", "UnSync IPC"
+    ));
     for (i, &rate) in sweep.rates.iter().enumerate() {
         s.push_str(&format!(
             "{:>12.2e} {:>14.4} {:>14.4}\n",
@@ -137,7 +140,9 @@ pub mod csv {
 
     /// Fig. 4 rows as CSV.
     pub fn fig4(rows: &[Fig4Row]) -> String {
-        let mut s = String::from("benchmark,serializing_fraction,base_ipc,reunion_overhead,unsync_overhead\n");
+        let mut s = String::from(
+            "benchmark,serializing_fraction,base_ipc,reunion_overhead,unsync_overhead\n",
+        );
         for r in rows {
             s.push_str(&format!(
                 "{},{:.6},{:.6},{:.6},{:.6}\n",
@@ -162,7 +167,8 @@ pub mod csv {
 
     /// Fig. 6 rows as CSV.
     pub fn fig6(rows: &[Fig6Row]) -> String {
-        let mut s = String::from("benchmark,cb_bytes,cb_entries,unsync_norm,cb_full_stall_cycles\n");
+        let mut s =
+            String::from("benchmark,cb_bytes,cb_entries,unsync_norm,cb_full_stall_cycles\n");
         for r in rows {
             s.push_str(&format!(
                 "{},{},{},{:.6},{}\n",
@@ -185,6 +191,126 @@ pub mod csv {
     }
 }
 
+/// JSONL record builders for the figure data — one [`Json`] object per
+/// result row, consumed by the binaries' [`RunLog`](crate::RunLog)s.
+/// Deterministic: a pure function of the experiment output.
+pub mod jsonl {
+    use super::*;
+    use crate::runlog::Json;
+
+    /// The Table I machine parameters as a single record.
+    pub fn table1() -> Json {
+        let core = unsync_sim::CoreConfig::table1();
+        let mem = unsync_mem::HierarchyConfig::table1();
+        Json::obj()
+            .field("clock_ghz", core.clock_ghz)
+            .field("fetch_width", u64::from(core.fetch_width))
+            .field("iq_size", core.iq_size)
+            .field("rob_size", core.rob_size)
+            .field("lsq_size", core.lsq_size)
+            .field("l1d_bytes", mem.l1d.size_bytes)
+            .field("l1d_assoc", mem.l1d.assoc)
+            .field("l1d_mshrs", mem.l1d.mshrs)
+            .field("l1d_hit_latency", mem.l1d.hit_latency)
+            .field("l2_bytes", mem.l2.size_bytes)
+            .field("l2_assoc", mem.l2.assoc)
+            .field("l2_hit_latency", mem.l2.hit_latency)
+            .field("l2_mshrs", mem.l2.mshrs)
+            .field("itlb_entries", mem.itlb.entries)
+            .field("dtlb_entries", mem.dtlb.entries)
+            .field("bus_bytes_per_cycle", mem.bus_bytes_per_cycle)
+            .field("dram_latency", mem.dram_latency)
+    }
+
+    /// One Fig. 4 row.
+    pub fn fig4(r: &Fig4Row) -> Json {
+        Json::obj()
+            .field("benchmark", r.bench)
+            .field("serializing_fraction", r.serializing_fraction)
+            .field("base_ipc", r.base_ipc)
+            .field("reunion_overhead", r.reunion_overhead)
+            .field("unsync_overhead", r.unsync_overhead)
+    }
+
+    /// One Fig. 5 cell.
+    pub fn fig5(c: &Fig5Cell) -> Json {
+        Json::obj()
+            .field("benchmark", c.bench)
+            .field("fi", c.fi)
+            .field("latency", c.latency)
+            .field("reunion_norm", c.reunion_norm)
+            .field("unsync_norm", c.unsync_norm)
+            .field("reunion_rob_occupancy", c.reunion_rob_occupancy)
+    }
+
+    /// One Fig. 6 row.
+    pub fn fig6(r: &Fig6Row) -> Json {
+        Json::obj()
+            .field("benchmark", r.bench)
+            .field("cb_bytes", r.cb_bytes)
+            .field("cb_entries", r.cb_entries)
+            .field("unsync_norm", r.unsync_norm)
+            .field("cb_full_stall_cycles", r.cb_full_stall_cycles)
+    }
+
+    /// The SER sweep: one record per swept rate plus a summary.
+    pub fn ser(sweep: &SerSweep) -> Vec<Json> {
+        let mut out: Vec<Json> = sweep
+            .rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| {
+                Json::obj()
+                    .field("ser_per_inst", rate)
+                    .field("reunion_ipc", sweep.reunion_ipc[i])
+                    .field("unsync_ipc", sweep.unsync_ipc[i])
+            })
+            .collect();
+        out.push(
+            Json::obj()
+                .field("summary", true)
+                .field("reunion_error_free_cycles", sweep.error_free_cycles.0)
+                .field("unsync_error_free_cycles", sweep.error_free_cycles.1)
+                .field("reunion_per_error_cycles", sweep.per_error_cycles.0)
+                .field("unsync_per_error_cycles", sweep.per_error_cycles.1)
+                .field(
+                    "break_even_ser",
+                    sweep.break_even.map_or(Json::Null, Json::F64),
+                ),
+        );
+        out
+    }
+
+    /// The ROEC report: one record per architecture plus per-target rows.
+    pub fn roec(report: &RoecReport) -> Vec<Json> {
+        let arch = |name: &str, roec: f64, a: &crate::experiments::RoecArchStats| {
+            Json::obj()
+                .field("arch", name)
+                .field("static_roec", roec)
+                .field("injected", a.injected)
+                .field("correct", a.correct)
+                .field("detected", a.detected)
+                .field("corrected_in_place", a.corrected_in_place)
+                .field("unrecoverable", a.unrecoverable)
+                .field("silent_corruptions", a.silent_corruptions)
+        };
+        let mut out = vec![
+            arch("unsync", report.unsync_roec, &report.unsync),
+            arch("reunion", report.reunion_roec, &report.reunion),
+        ];
+        for &(target, injected, correct) in &report.reunion_by_target {
+            out.push(
+                Json::obj()
+                    .field("arch", "reunion")
+                    .field("target", target)
+                    .field("injected", injected)
+                    .field("correct", correct),
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,7 +319,10 @@ mod tests {
 
     #[test]
     fn csv_outputs_are_well_formed() {
-        let cfg = ExperimentConfig { inst_count: 3_000, seed: 1 };
+        let cfg = ExperimentConfig {
+            inst_count: 3_000,
+            seed: 1,
+        };
         let rows = experiments::fig6(cfg, &[Benchmark::Sha]);
         let c = csv::fig6(&rows);
         let lines: Vec<&str> = c.lines().collect();
@@ -206,7 +335,10 @@ mod tests {
 
     #[test]
     fn renders_contain_headers() {
-        let cfg = ExperimentConfig { inst_count: 3_000, seed: 1 };
+        let cfg = ExperimentConfig {
+            inst_count: 3_000,
+            seed: 1,
+        };
         let f6 = fig6(&experiments::fig6(cfg, &[Benchmark::Sha]));
         assert!(f6.contains("CB size"));
         let f5 = fig5(&experiments::fig5(cfg, &[Benchmark::Sha]));

@@ -1,0 +1,382 @@
+//! Machine-readable JSONL run logs.
+//!
+//! Every experiment binary emits one JSON-Lines file alongside its text
+//! output: one `record` line per result row, framed by a `header` line
+//! (experiment name, config, seed) and a trailing `meta` line (worker
+//! count, wall-clock, metrics snapshot). The header and records are a
+//! pure function of `(experiment, ExperimentConfig)` — byte-identical
+//! across worker counts and machines — which is exactly what the
+//! determinism and golden tests compare. Everything environment-shaped
+//! lives only on the `meta` line, so consumers (and tests) drop it with
+//! a one-line filter.
+//!
+//! The serializer is a tiny hand-rolled [`Json`] tree: object keys keep
+//! insertion order, `f64` renders via Rust's shortest-roundtrip `{:?}`,
+//! and non-finite floats render as `null`, so output is reproducible
+//! down to the byte with no external dependencies.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use unsync_sim::metrics::{self, MetricValue};
+
+use crate::experiments::ExperimentConfig;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every counter in the repo).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts `key: value`, returning `self` for chaining.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on non-object Json"),
+        }
+        self
+    }
+
+    /// Serializes to a single compact line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) if x.is_finite() => {
+                let _ = write!(out, "{x:?}");
+            }
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// A JSONL run log under construction: header, records, then a meta
+/// line stamped at [`RunLog::finish`].
+#[derive(Debug)]
+pub struct RunLog {
+    experiment: String,
+    lines: Vec<String>,
+    started: Instant,
+}
+
+impl RunLog {
+    /// Starts a log for `experiment` with the standard header line.
+    pub fn start(experiment: &str, cfg: ExperimentConfig) -> RunLog {
+        Self::with_header(
+            experiment,
+            Json::obj()
+                .field("inst_count", cfg.inst_count)
+                .field("seed", cfg.seed),
+        )
+    }
+
+    /// Starts a log for an analytic experiment with no simulation
+    /// config (hardware-model tables, scrub analysis).
+    pub fn start_static(experiment: &str) -> RunLog {
+        Self::with_header(experiment, Json::Null)
+    }
+
+    fn with_header(experiment: &str, config: Json) -> RunLog {
+        let header = Json::obj()
+            .field("kind", "header")
+            .field("experiment", experiment)
+            .field("schema", 1u64)
+            .field("config", config);
+        RunLog {
+            experiment: experiment.to_string(),
+            lines: vec![header.render()],
+            started: Instant::now(),
+        }
+    }
+
+    /// Appends one deterministic record line. `fields` should already be
+    /// a [`Json::Obj`]; the standard `kind`/`row` framing is added here.
+    pub fn record(&mut self, fields: Json) {
+        let row = self.lines.len() - 1;
+        let mut framed = Json::obj().field("kind", "record").field("row", row);
+        if let Json::Obj(pairs) = fields {
+            if let Json::Obj(dst) = &mut framed {
+                dst.extend(pairs);
+            }
+        } else {
+            framed = framed.field("value", fields);
+        }
+        self.lines.push(framed.render());
+    }
+
+    /// The deterministic portion of the log: every line except the
+    /// trailing `meta` line (which [`finish`](RunLog::finish) appends).
+    pub fn deterministic_lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Stamps the nondeterministic `meta` line (worker count, wall-clock
+    /// milliseconds, metrics snapshot) and returns the full log text.
+    pub fn finish(mut self, workers: usize) -> String {
+        let snapshot = metrics::global().snapshot();
+        let mut ms = Json::obj();
+        for (name, value) in metric_fields(&snapshot) {
+            ms = ms.field(&name, value);
+        }
+        let meta = Json::obj()
+            .field("kind", "meta")
+            .field("experiment", self.experiment.as_str())
+            .field("workers", workers)
+            .field("wall_clock_ms", self.started.elapsed().as_millis() as u64)
+            .field("metrics", ms);
+        self.lines.push(meta.render());
+        let mut text = self.lines.join("\n");
+        text.push('\n');
+        text
+    }
+
+    /// Finishes the log and writes it under the results directory
+    /// (`UNSYNC_RESULTS_DIR`, default `results/`) as
+    /// `<experiment>.jsonl`. Returns the path on success; on any I/O
+    /// failure prints a warning and returns `None` — run logs must
+    /// never fail an experiment.
+    pub fn write(self, workers: usize) -> Option<PathBuf> {
+        let dir = results_dir();
+        let path = dir.join(format!("{}.jsonl", self.experiment));
+        let text = self.finish(workers);
+        let io = fs::create_dir_all(&dir)
+            .and_then(|()| fs::File::create(&path))
+            .and_then(|mut f| f.write_all(text.as_bytes()));
+        match io {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write run log {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// The run-log output directory: `UNSYNC_RESULTS_DIR` or `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("UNSYNC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn metric_fields(snapshot: &[(String, MetricValue)]) -> Vec<(String, Json)> {
+    snapshot
+        .iter()
+        .map(|(name, value)| {
+            let json = match value {
+                MetricValue::Counter(n) => Json::U64(*n),
+                MetricValue::Gauge(x) => Json::F64(*x),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => Json::obj().field("count", *count).field("sum", *sum).field(
+                    "buckets",
+                    Json::Arr(
+                        buckets
+                            .iter()
+                            .map(|(le, n)| Json::obj().field("le", *le).field("count", *n))
+                            .collect(),
+                    ),
+                ),
+            };
+            (name.clone(), json)
+        })
+        .collect()
+}
+
+/// Strips `meta` lines from JSONL text: the deterministic portion that
+/// determinism and golden tests compare.
+pub fn deterministic_portion(jsonl: &str) -> String {
+    let mut out = String::new();
+    for line in jsonl.lines() {
+        if !line.contains("\"kind\":\"meta\"") {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_ordered_json() {
+        let j = Json::obj()
+            .field("b", 1u64)
+            .field("a", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .field("x", 0.5f64)
+            .field("s", "q\"\n");
+        assert_eq!(j.render(), r#"{"b":1,"a":[true,null],"x":0.5,"s":"q\"\n"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+        assert_eq!(Json::F64(1.0 / 3.0).render(), "0.3333333333333333");
+    }
+
+    #[test]
+    fn log_frames_header_records_meta() {
+        let cfg = ExperimentConfig {
+            inst_count: 10,
+            seed: 7,
+        };
+        let mut log = RunLog::start("unit", cfg);
+        log.record(Json::obj().field("benchmark", "gzip").field("ipc", 1.5f64));
+        log.record(Json::obj().field("benchmark", "mcf").field("ipc", 0.25f64));
+        let text = log.finish(3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with(r#"{"kind":"header","experiment":"unit","schema":1"#));
+        assert!(lines[1].contains(r#""row":0,"benchmark":"gzip""#));
+        assert!(lines[2].contains(r#""row":1,"benchmark":"mcf""#));
+        assert!(lines[3].contains(r#""kind":"meta""#) && lines[3].contains(r#""workers":3"#));
+    }
+
+    #[test]
+    fn deterministic_portion_drops_only_meta() {
+        let cfg = ExperimentConfig {
+            inst_count: 10,
+            seed: 7,
+        };
+        let mut log = RunLog::start("unit2", cfg);
+        log.record(Json::obj().field("v", 1u64));
+        let det: Vec<String> = log.deterministic_lines().to_vec();
+        let text = log.finish(1);
+        let kept = deterministic_portion(&text);
+        assert_eq!(kept.lines().count(), det.len());
+        for (a, b) in kept.lines().zip(det.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+}

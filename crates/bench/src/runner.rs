@@ -1,0 +1,255 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every experiment driver fans independent simulations out through one
+//! [`Runner`]: a fixed-size worker pool over [`std::thread::scope`]
+//! pulling jobs off a shared index queue. Three properties make results
+//! trustworthy:
+//!
+//! * **Worker-count independence.** A job's output depends only on its
+//!   input — never on which worker ran it or in what order. Anything a
+//!   job randomizes comes from its own [`job_stream`], derived from
+//!   `(seed, benchmark, config)` via SplitMix64, so `UNSYNC_WORKERS=1`
+//!   and `UNSYNC_WORKERS=64` produce bit-identical results.
+//! * **Order preservation.** [`Runner::map`] returns outputs in input
+//!   order regardless of completion order.
+//! * **Baseline memoization.** Figures 4–6 and the reliability studies
+//!   all normalize against the unprotected baseline run of the same
+//!   trace. [`baseline_cycles`] memoizes that simulation per
+//!   `(benchmark, inst_count, seed)` process-wide, so each baseline
+//!   executes exactly once no matter how many experiments ask for it —
+//!   observable as `runner.baseline_sim_runs` vs.
+//!   `runner.baseline_cache_hits` in the metrics registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use unsync_isa::exec::splitmix64;
+use unsync_sim::{metrics, run_baseline, CoreConfig};
+use unsync_workloads::{Benchmark, SplitMixStream, WorkloadGen};
+
+use crate::experiments::ExperimentConfig;
+
+/// A fixed-size deterministic worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    workers: usize,
+}
+
+impl Runner {
+    /// A runner with exactly `workers` workers.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker");
+        Runner { workers }
+    }
+
+    /// Worker count from `UNSYNC_WORKERS`, defaulting to the machine's
+    /// available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("UNSYNC_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Runner::new(workers)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item on the worker pool, returning results
+    /// in input order. `f` must be a pure function of its item for the
+    /// worker-count-independence guarantee to hold.
+    ///
+    /// # Panics
+    /// Propagates a panic from any job after all workers stop.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let m = metrics::global();
+        m.gauge("runner.workers").set(self.workers as f64);
+        let jobs_done = m.counter("runner.jobs_completed");
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(items.len());
+        if workers == 1 {
+            return items
+                .iter()
+                .map(|item| {
+                    let r = f(item);
+                    jobs_done.inc();
+                    r
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    jobs_done.inc();
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled slot")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+/// The seed of a job's private RNG stream: a SplitMix64 chain over the
+/// experiment seed, the benchmark name, the instruction count, and a
+/// caller-chosen salt. Stable across platforms and worker counts.
+pub fn job_seed(cfg: ExperimentConfig, bench: Benchmark, salt: u64) -> u64 {
+    let mut h = splitmix64(cfg.seed ^ 0x7f4a_7c15_9e37_79b9);
+    for b in bench.name().bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h = splitmix64(h ^ cfg.inst_count);
+    splitmix64(h ^ salt)
+}
+
+/// A job's private deterministic RNG stream (see [`job_seed`]).
+pub fn job_stream(cfg: ExperimentConfig, bench: Benchmark, salt: u64) -> SplitMixStream {
+    SplitMixStream::new(job_seed(cfg, bench, salt))
+}
+
+type BaselineKey = (Benchmark, u64, u64);
+
+fn baseline_cache() -> &'static Mutex<HashMap<BaselineKey, Arc<OnceLock<u64>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<BaselineKey, Arc<OnceLock<u64>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Baseline (unprotected Table I CMP) cycle count for one benchmark
+/// trace, memoized process-wide per `(benchmark, inst_count, seed)`.
+///
+/// Concurrent callers racing on a cold key block on one `OnceLock`, so
+/// the simulation runs exactly once; everyone else counts as a cache
+/// hit.
+pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
+    let key = (bench, cfg.inst_count, cfg.seed);
+    let cell = {
+        let mut cache = baseline_cache().lock().expect("baseline cache poisoned");
+        Arc::clone(cache.entry(key).or_default())
+    };
+    let m = metrics::global();
+    let mut simulated = false;
+    let cycles = *cell.get_or_init(|| {
+        simulated = true;
+        m.counter("runner.baseline_sim_runs").inc();
+        let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+        run_baseline(CoreConfig::table1(), &mut stream)
+            .core
+            .last_commit_cycle
+    });
+    if !simulated {
+        m.counter("runner.baseline_cache_hits").inc();
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let out = Runner::new(4).map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_is_worker_count_independent() {
+        let items: Vec<u64> = (0..23).collect();
+        let run = |w: usize| Runner::new(w).map(&items, |&x| splitmix64(x));
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let none: Vec<u64> = Vec::new();
+        assert!(Runner::new(3).map(&none, |&x| x).is_empty());
+        assert_eq!(Runner::new(3).map(&[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn job_streams_separate_by_every_component() {
+        let cfg = ExperimentConfig {
+            inst_count: 1_000,
+            seed: 1,
+        };
+        let a = job_seed(cfg, Benchmark::Gzip, 0);
+        assert_ne!(a, job_seed(cfg, Benchmark::Gzip, 1));
+        assert_ne!(a, job_seed(cfg, Benchmark::Bzip2, 0));
+        assert_ne!(
+            a,
+            job_seed(ExperimentConfig { seed: 2, ..cfg }, Benchmark::Gzip, 0)
+        );
+        assert_ne!(
+            a,
+            job_seed(
+                ExperimentConfig {
+                    inst_count: 2_000,
+                    ..cfg
+                },
+                Benchmark::Gzip,
+                0
+            )
+        );
+        assert_eq!(a, job_seed(cfg, Benchmark::Gzip, 0), "stable");
+    }
+
+    #[test]
+    fn baseline_is_simulated_once_then_cached() {
+        let cfg = ExperimentConfig {
+            inst_count: 2_000,
+            seed: 940_271,
+        };
+        let runs = metrics::global().counter("runner.baseline_sim_runs");
+        let hits = metrics::global().counter("runner.baseline_cache_hits");
+        let (runs0, hits0) = (runs.get(), hits.get());
+        let a = baseline_cycles(Benchmark::Sha, cfg);
+        // Concurrent and repeated lookups all reuse the one simulation.
+        let again = Runner::new(4).map(&[0u64; 8], |_| baseline_cycles(Benchmark::Sha, cfg));
+        assert!(again.iter().all(|&c| c == a));
+        assert_eq!(runs.get() - runs0, 1, "exactly one simulation");
+        assert_eq!(hits.get() - hits0, 8, "every other lookup hit the cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Runner::new(0);
+    }
+}

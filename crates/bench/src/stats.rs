@@ -38,7 +38,12 @@ impl Summary {
         };
         let stddev = var.sqrt();
         let ci95 = 1.96 * stddev / (n as f64).sqrt();
-        Summary { n, mean, stddev, ci95 }
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci95,
+        }
     }
 
     /// `mean ± ci95` formatted for tables.
@@ -47,24 +52,15 @@ impl Summary {
     }
 }
 
-/// Runs `f(seed)` for every seed in parallel and returns the results in
-/// seed order.
+/// Runs `f(seed)` for every seed on the environment-configured
+/// [`Runner`](crate::runner::Runner) and returns the results in seed
+/// order.
 pub fn multi_seed<T, F>(seeds: &[u64], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = seeds.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot, &seed) in out.iter_mut().zip(seeds) {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(seed));
-            });
-        }
-    })
-    .expect("seed worker panicked");
-    out.into_iter().map(|x| x.expect("worker filled slot")).collect()
+    crate::runner::Runner::from_env().map(seeds, |&seed| f(seed))
 }
 
 #[cfg(test)]

@@ -96,7 +96,10 @@ impl PairedCb {
             capacity,
             policy,
             core_base,
-            sides: [VecDeque::with_capacity(capacity), VecDeque::with_capacity(capacity)],
+            sides: [
+                VecDeque::with_capacity(capacity),
+                VecDeque::with_capacity(capacity),
+            ],
             stats: [CbSideStats::default(); 2],
             drained: 0,
         }
@@ -120,7 +123,10 @@ impl PairedCb {
     }
 
     fn retire(&mut self, core: usize, cycle: u64) {
-        while self.sides[core].front().is_some_and(|e| e.drain_done <= cycle) {
+        while self.sides[core]
+            .front()
+            .is_some_and(|e| e.drain_done <= cycle)
+        {
             self.sides[core].pop_front();
         }
     }
@@ -133,7 +139,14 @@ impl PairedCb {
     /// drain to L2 is scheduled over the shared bus at
     /// `max(readyA, readyB)` — the *slower* core gates eviction, which is
     /// exactly the Fig. 6 bottleneck.
-    pub fn push(&mut self, core: usize, seq: u64, line: u64, cycle: u64, mem: &mut MemSystem) -> u64 {
+    pub fn push(
+        &mut self,
+        core: usize,
+        seq: u64,
+        line: u64,
+        cycle: u64,
+        mem: &mut MemSystem,
+    ) -> u64 {
         self.stats[core].pushes += 1;
         self.retire(core, cycle);
         let mut now = cycle;
@@ -153,7 +166,12 @@ impl PairedCb {
             now = head.drain_done;
             self.retire(core, now);
         }
-        self.sides[core].push_back(CbEntry { seq, line, ready: now, drain_done: u64::MAX });
+        self.sides[core].push_back(CbEntry {
+            seq,
+            line,
+            ready: now,
+            drain_done: u64::MAX,
+        });
 
         let partner = core ^ 1;
         let partner_idx = self.sides[partner].iter().position(|e| e.seq == seq);
@@ -242,14 +260,19 @@ impl GroupCb {
         assert!(ways >= 2, "a redundancy group has at least two sides");
         GroupCb {
             capacity,
-            sides: (0..ways).map(|_| VecDeque::with_capacity(capacity)).collect(),
+            sides: (0..ways)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
             drained: 0,
             full_events: 0,
         }
     }
 
     fn retire(&mut self, core: usize, cycle: u64) {
-        while self.sides[core].front().is_some_and(|e| e.drain_done <= cycle) {
+        while self.sides[core]
+            .front()
+            .is_some_and(|e| e.drain_done <= cycle)
+        {
             self.sides[core].pop_front();
         }
     }
@@ -264,17 +287,33 @@ impl GroupCb {
     /// the (possibly stalled) completion cycle. When the push completes
     /// the group, the drain is scheduled at the *slowest* replica's ready
     /// time over replica 0's pair drain path.
-    pub fn push(&mut self, core: usize, seq: u64, line: u64, cycle: u64, mem: &mut MemSystem) -> u64 {
+    pub fn push(
+        &mut self,
+        core: usize,
+        seq: u64,
+        line: u64,
+        cycle: u64,
+        mem: &mut MemSystem,
+    ) -> u64 {
         self.retire(core, cycle);
         let mut now = cycle;
         if self.sides[core].len() >= self.capacity {
             let head = self.sides[core].front().expect("full side is non-empty");
-            assert_ne!(head.drain_done, u64::MAX, "group CB head unmatched while full");
+            assert_ne!(
+                head.drain_done,
+                u64::MAX,
+                "group CB head unmatched while full"
+            );
             self.full_events += 1;
             now = head.drain_done;
             self.retire(core, now);
         }
-        self.sides[core].push_back(CbEntry { seq, line, ready: now, drain_done: u64::MAX });
+        self.sides[core].push_back(CbEntry {
+            seq,
+            line,
+            ready: now,
+            drain_done: u64::MAX,
+        });
 
         // Group complete?
         let positions: Vec<Option<usize>> = self

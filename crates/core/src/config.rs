@@ -104,7 +104,10 @@ impl UnsyncConfig {
     /// paper labels sizes in bytes — entries hold one 8-byte word plus
     /// tag, so "2 KB" ≈ 256 entries).
     pub fn with_cb_entries(cb_entries: usize) -> Self {
-        UnsyncConfig { cb_entries, ..Self::paper_baseline() }
+        UnsyncConfig {
+            cb_entries,
+            ..Self::paper_baseline()
+        }
     }
 
     /// Converts a Fig. 6 byte label to entries (8-byte data words).

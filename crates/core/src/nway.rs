@@ -90,14 +90,19 @@ impl UnsyncGroup {
     /// Runs `trace` with the given faults (sorted by `at`; `core` indexes
     /// the replica, `< ways`).
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> GroupOutcome {
-        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
-        assert!(faults.iter().all(|f| f.core < self.ways), "fault core out of range");
+        assert!(
+            faults.windows(2).all(|w| w[0].at <= w[1].at),
+            "faults must be sorted"
+        );
+        assert!(
+            faults.iter().all(|f| f.core < self.ways),
+            "fault core out of range"
+        );
         let n = self.ways;
         let (_, golden_mem) = golden_run(trace);
 
         let mut mem = MemSystem::new(HierarchyConfig::table1(), n, WritePolicy::WriteThrough);
-        let mut engines: Vec<OooEngine> =
-            (0..n).map(|c| OooEngine::new(self.ccfg, c)).collect();
+        let mut engines: Vec<OooEngine> = (0..n).map(|c| OooEngine::new(self.ccfg, c)).collect();
         let mut hooks: Vec<NullHooks> = vec![NullHooks; n];
         let mut arch: Vec<ArchState> = (0..n).map(|_| ArchState::new()).collect();
         let mut committed_mem = ArchMemory::new();
@@ -168,8 +173,8 @@ impl UnsyncGroup {
                 let l1_lines = mem.l1d(good).valid_lines() as u64;
                 // Each erroneous replica receives the state + L1 copy.
                 let bad_count = struck.iter().filter(|&&s| s).count() as u64;
-                let recovery_end = stall_start
-                    + bad_count * (2 * 64 * word_beats + mem.l1_copy_cost(l1_lines));
+                let recovery_end =
+                    stall_start + bad_count * (2 * 64 * word_beats + mem.l1_copy_cost(l1_lines));
                 let good_state = arch[good].clone();
                 let good_l1 = mem.l1d(good).clone();
                 for (core, &s) in struck.iter().enumerate() {
@@ -188,7 +193,9 @@ impl UnsyncGroup {
         out.cycles = engines.iter().map(|e| e.now()).max().unwrap_or(0);
         out.cb_drained = cb.drained;
         out.memory_matches_golden = out.unrecoverable == 0
-            && golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+            && golden_mem
+                .iter()
+                .all(|(addr, val)| committed_mem.read(addr) == val);
         out
     }
 }
@@ -207,7 +214,12 @@ mod tests {
         PairFault {
             at,
             core,
-            site: FaultSite { target: FaultTarget::RegisterFile, bit_offset: 67 }, kind: unsync_fault::FaultKind::Single }
+            site: FaultSite {
+                target: FaultTarget::RegisterFile,
+                bit_offset: 67,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        }
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl UnsyncPair {
     /// A pair with the paper's write-through L1 (§III-C1).
     pub fn new(ccfg: CoreConfig, ucfg: UnsyncConfig) -> Self {
         ucfg.validate().expect("UnSync config must be valid");
-        UnsyncPair { ccfg, ucfg, l1_policy: WritePolicy::WriteThrough }
+        UnsyncPair {
+            ccfg,
+            ucfg,
+            l1_policy: WritePolicy::WriteThrough,
+        }
     }
 
     /// The write-back ablation of Fig. 2 — demonstrates why the paper
@@ -131,12 +135,19 @@ impl UnsyncPair {
     /// error-free core during recovery is unrecoverable.
     pub fn with_write_back_l1(ccfg: CoreConfig, ucfg: UnsyncConfig) -> Self {
         ucfg.validate().expect("UnSync config must be valid");
-        UnsyncPair { ccfg, ucfg, l1_policy: WritePolicy::WriteBack }
+        UnsyncPair {
+            ccfg,
+            ucfg,
+            l1_policy: WritePolicy::WriteBack,
+        }
     }
 
     /// Runs `trace` to completion with the given faults (sorted by `at`).
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> UnsyncOutcome {
-        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
+        assert!(
+            faults.windows(2).all(|w| w[0].at <= w[1].at),
+            "faults must be sorted"
+        );
         let (_, golden_mem) = golden_run(trace);
 
         let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, self.l1_policy);
@@ -293,10 +304,8 @@ impl UnsyncPair {
                 if self.l1_policy == WritePolicy::WriteBack {
                     if let Some((window_end, source)) = recovery_window {
                         let now = engines[0].now().max(engines[1].now());
-                        let strikes_l1 = matches!(
-                            f.site.target,
-                            FaultTarget::L1Data | FaultTarget::L1Tag
-                        );
+                        let strikes_l1 =
+                            matches!(f.site.target, FaultTarget::L1Data | FaultTarget::L1Tag);
                         if now <= window_end
                             && bad == source
                             && strikes_l1
@@ -329,23 +338,17 @@ impl UnsyncPair {
                 // configured L1 code (§III-B1 placement).
                 let mechanism = match f.site.target {
                     FaultTarget::Pc | FaultTarget::PipelineRegs => DetectionMechanism::Dmr,
-                    FaultTarget::L1Data | FaultTarget::L1Tag => {
-                        match self.ucfg.l1_protection {
-                            crate::config::L1Protection::LineParity => {
-                                DetectionMechanism::Parity
-                            }
-                            crate::config::L1Protection::Secded => DetectionMechanism::Secded,
-                        }
-                    }
+                    FaultTarget::L1Data | FaultTarget::L1Tag => match self.ucfg.l1_protection {
+                        crate::config::L1Protection::LineParity => DetectionMechanism::Parity,
+                        crate::config::L1Protection::Secded => DetectionMechanism::Secded,
+                    },
                     _ => DetectionMechanism::Parity,
                 };
 
                 // Adjacent double-bit upsets flip an even number of bits:
                 // invisible to 1-bit parity (the §VIII multi-bit hole),
                 // detected by DMR (any difference) and SECDED.
-                if f.kind == FaultKind::AdjacentDouble
-                    && mechanism == DetectionMechanism::Parity
-                {
+                if f.kind == FaultKind::AdjacentDouble && mechanism == DetectionMechanism::Parity {
                     // Undetected: the corruption becomes architectural.
                     match f.site.target {
                         FaultTarget::RegisterFile => {
@@ -368,9 +371,7 @@ impl UnsyncPair {
 
                 // Single strikes on a SECDED L1 are corrected in place —
                 // no recovery, no stall beyond the codec.
-                if f.kind == FaultKind::Single
-                    && mechanism == DetectionMechanism::Secded
-                {
+                if f.kind == FaultKind::Single && mechanism == DetectionMechanism::Secded {
                     out.detections += 1;
                     out.corrected_in_place += 1;
                     continue;
@@ -408,10 +409,25 @@ impl UnsyncPair {
 
         out.cycles = engines[0].now().max(engines[1].now());
         out.cb_drained = cb.drained;
-        out.cb_full_stall_cycles =
-            cb.stats[0].full_stall_cycles + cb.stats[1].full_stall_cycles;
+        out.cb_full_stall_cycles = cb.stats[0].full_stall_cycles + cb.stats[1].full_stall_cycles;
         out.memory_matches_golden = out.unrecoverable == 0
-            && golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+            && golden_mem
+                .iter()
+                .all(|(addr, val)| committed_mem.read(addr) == val);
+
+        // Publish run aggregates once per pair run (never per
+        // instruction — the pair loop is the hot path).
+        let m = unsync_sim::metrics::global();
+        m.counter("unsync_pair.runs").inc();
+        m.counter("unsync_pair.instructions").add(out.committed);
+        m.counter("unsync_pair.cycles").add(out.cycles);
+        m.counter("unsync_pair.detections").add(out.detections);
+        m.counter("unsync_pair.recoveries").add(out.recoveries);
+        m.counter("unsync_pair.recovery_stall_cycles")
+            .add(out.recovery_stall_cycles);
+        m.counter("unsync_pair.cb_drained").add(out.cb_drained);
+        m.counter("unsync_pair.cb_full_stall_cycles")
+            .add(out.cb_full_stall_cycles);
         out
     }
 
@@ -432,8 +448,7 @@ impl UnsyncPair {
         let good = bad ^ 1;
         let now = engines[0].now().max(engines[1].now());
         // 1: detection fires, the EIH signals RECOVERY, both cores stop.
-        let stall_start =
-            now + self.ucfg.detection_latency as u64 + self.ucfg.eih_latency as u64;
+        let stall_start = now + self.ucfg.detection_latency as u64 + self.ucfg.eih_latency as u64;
         // 2: flush the erroneous pipeline.
         let flushed = stall_start + self.ucfg.flush_cycles as u64;
         // 3: copy architectural state (and, in the paper's design, the
@@ -514,7 +529,15 @@ mod tests {
     }
 
     fn fault(at: u64, core: usize, target: FaultTarget, bit: u64) -> PairFault {
-        PairFault { at, core, site: FaultSite { target, bit_offset: bit } , kind: unsync_fault::FaultKind::Single }
+        PairFault {
+            at,
+            core,
+            site: FaultSite {
+                target,
+                bit_offset: bit,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        }
     }
 
     #[test]
@@ -561,7 +584,12 @@ mod tests {
         let clean = pair().run(&t, &[]);
         let faults = [fault(2_500, 0, FaultTarget::Lsq, 11)];
         let faulty = pair().run(&t, &faults);
-        assert!(faulty.cycles > clean.cycles + 1_000, "{} vs {}", faulty.cycles, clean.cycles);
+        assert!(
+            faulty.cycles > clean.cycles + 1_000,
+            "{} vs {}",
+            faulty.cycles,
+            clean.cycles
+        );
         assert!(faulty.recovery_stall_cycles > 1_000);
         assert!(faulty.correct());
     }
@@ -570,10 +598,10 @@ mod tests {
     fn small_cb_stalls_store_heavy_workloads() {
         // The Fig. 6 mechanism.
         let t = WorkloadGen::new(Benchmark::Qsort, 10_000, 5).collect_trace();
-        let tiny = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(2))
-            .run(&t, &[]);
-        let large = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(512))
-            .run(&t, &[]);
+        let tiny =
+            UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(2)).run(&t, &[]);
+        let large =
+            UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(512)).run(&t, &[]);
         assert!(
             tiny.cb_full_stall_cycles > large.cb_full_stall_cycles,
             "tiny {} vs large {}",
@@ -626,7 +654,10 @@ mod tests {
         let mbu = PairFault {
             at: 1_500,
             core: 0,
-            site: FaultSite { target: FaultTarget::L1Data, bit_offset: 4096 },
+            site: FaultSite {
+                target: FaultTarget::L1Data,
+                bit_offset: 4096,
+            },
             kind: FaultKind::AdjacentDouble,
         };
         // The paper's 1-bit line parity: even flips are invisible.
@@ -644,7 +675,10 @@ mod tests {
         assert_eq!(secded.recoveries, 1);
         assert!(secded.correct(), "{secded:?}");
         // And single strikes on SECDED are corrected in place for free.
-        let single = PairFault { kind: FaultKind::Single, ..mbu };
+        let single = PairFault {
+            kind: FaultKind::Single,
+            ..mbu
+        };
         let in_place = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &[single]);
         assert_eq!(in_place.corrected_in_place, 1);
         assert_eq!(in_place.recoveries, 0);
@@ -680,15 +714,50 @@ mod tests {
         // Craft: r1 written at 0, read at 20; r2 written at 1, overwritten
         // at 10 without any read.
         let mut insts: Vec<Inst> = Vec::new();
-        insts.push(Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(20)).finish());
-        insts.push(Inst::build(OpClass::IntAlu).seq(1).pc(4).dest(Reg::int(2)).src0(Reg::int(20)).finish());
+        insts.push(
+            Inst::build(OpClass::IntAlu)
+                .seq(0)
+                .pc(0)
+                .dest(Reg::int(1))
+                .src0(Reg::int(20))
+                .finish(),
+        );
+        insts.push(
+            Inst::build(OpClass::IntAlu)
+                .seq(1)
+                .pc(4)
+                .dest(Reg::int(2))
+                .src0(Reg::int(20))
+                .finish(),
+        );
         for i in 2..20u64 {
             let d = if i == 10 { 2 } else { 10 + (i % 4) as u8 };
-            insts.push(Inst::build(OpClass::IntAlu).seq(i).pc(i * 4).dest(Reg::int(d)).src0(Reg::int(21)).finish());
+            insts.push(
+                Inst::build(OpClass::IntAlu)
+                    .seq(i)
+                    .pc(i * 4)
+                    .dest(Reg::int(d))
+                    .src0(Reg::int(21))
+                    .finish(),
+            );
         }
-        insts.push(Inst::build(OpClass::IntAlu).seq(20).pc(80).dest(Reg::int(12)).src0(Reg::int(1)).finish());
+        insts.push(
+            Inst::build(OpClass::IntAlu)
+                .seq(20)
+                .pc(80)
+                .dest(Reg::int(12))
+                .src0(Reg::int(1))
+                .finish(),
+        );
         for i in 21..40u64 {
-            insts.push(Inst::build(OpClass::IntAlu).seq(i).pc(i * 4).dest(Reg::int(13)).src0(Reg::int(21)).finish());
+            insts.push(
+                Inst::build(OpClass::IntAlu)
+                    .seq(i)
+                    .pc(i * 4)
+                    .dest(Reg::int(13))
+                    .src0(Reg::int(21))
+                    .finish(),
+            );
         }
         let t = TraceProgram::new(insts);
         let cfg = UnsyncConfig {
@@ -698,7 +767,7 @@ mod tests {
         // Strike r1 at instruction 2 (live: read at 20) and r2 at
         // instruction 3 (dead: overwritten at 10 unread).
         let faults = [
-            fault(2, 0, FaultTarget::RegisterFile, 64 + 5),     // r1
+            fault(2, 0, FaultTarget::RegisterFile, 64 + 5), // r1
             fault(3, 1, FaultTarget::RegisterFile, 2 * 64 + 9), // r2
         ];
         let out = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);

@@ -70,18 +70,22 @@ impl UnsyncSystem {
     pub fn run(&self, traces: &[TraceProgram]) -> SystemOutcome {
         assert!(!traces.is_empty(), "at least one pair");
         let pairs = traces.len();
-        let mut mem =
-            MemSystem::new(HierarchyConfig::table1(), 2 * pairs, WritePolicy::WriteThrough);
+        let mut mem = MemSystem::new(
+            HierarchyConfig::table1(),
+            2 * pairs,
+            WritePolicy::WriteThrough,
+        );
         let mut engines: Vec<[OooEngine; 2]> = (0..pairs)
             .map(|p| {
-                [OooEngine::new(self.ccfg, 2 * p), OooEngine::new(self.ccfg, 2 * p + 1)]
+                [
+                    OooEngine::new(self.ccfg, 2 * p),
+                    OooEngine::new(self.ccfg, 2 * p + 1),
+                ]
             })
             .collect();
         let mut hooks = NullHooks;
         let mut cbs: Vec<PairedCb> = (0..pairs)
-            .map(|p| {
-                PairedCb::for_cores(self.ucfg.cb_entries, self.ucfg.drain_policy, 2 * p)
-            })
+            .map(|p| PairedCb::for_cores(self.ucfg.cb_entries, self.ucfg.drain_policy, 2 * p))
             .collect();
 
         // Interleave pairs in wall-clock order: always advance the pair
@@ -121,7 +125,21 @@ impl UnsyncSystem {
                 invalidations: mem.invalidations(2 * p) + mem.invalidations(2 * p + 1),
             })
             .collect();
-        SystemOutcome { pairs: stats, l2_miss_rate: mem.l2_stats().miss_rate() }
+        let out = SystemOutcome {
+            pairs: stats,
+            l2_miss_rate: mem.l2_stats().miss_rate(),
+        };
+
+        let m = unsync_sim::metrics::global();
+        m.counter("unsync_system.runs").inc();
+        for p in &out.pairs {
+            m.counter("unsync_system.pair_instructions")
+                .add(p.committed);
+            m.counter("unsync_system.cb_drained").add(p.cb_drained);
+            m.counter("unsync_system.invalidations")
+                .add(p.invalidations);
+        }
+        out
     }
 }
 

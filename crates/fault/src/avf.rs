@@ -111,19 +111,14 @@ pub fn l1_store_reuse(trace: &TraceProgram) -> f64 {
 /// Builds the per-structure AVF estimate for a trace plus measured
 /// occupancies (`rob_util`, `iq_util`, `lsq_util` are occupancy / capacity
 /// from the simulator).
-pub fn estimate(
-    trace: &TraceProgram,
-    rob_util: f64,
-    iq_util: f64,
-    lsq_util: f64,
-) -> AvfEstimate {
+pub fn estimate(trace: &TraceProgram, rob_util: f64, iq_util: f64, lsq_util: f64) -> AvfEstimate {
     AvfEstimate {
         register_file: register_avf(trace),
         rob: rob_util.clamp(0.0, 1.0),
         issue_queue: iq_util.clamp(0.0, 1.0),
         lsq: lsq_util.clamp(0.0, 1.0),
         l1_data: l1_store_reuse(trace).max(0.05), // resident clean lines still read
-        pipeline: 0.35, // literature-typical latch AVF (Nair et al.)
+        pipeline: 0.35,                           // literature-typical latch AVF (Nair et al.)
         tlb: 0.8,
     }
 }
@@ -150,7 +145,10 @@ impl SdcDueSplit {
                 sdc += weighted;
             }
         }
-        SdcDueSplit { sdc_bits: sdc, due_bits: due }
+        SdcDueSplit {
+            sdc_bits: sdc,
+            due_bits: due,
+        }
     }
 
     /// Silent fraction of all AVF-weighted vulnerability.
@@ -209,13 +207,21 @@ mod tests {
     fn store_reuse_detects_consumed_stores() {
         use unsync_isa::MemInfo;
         let insts = vec![
-            Inst::build(OpClass::Store).seq(0).src0(Reg::int(1)).mem(MemInfo::dword(0x40)).finish(),
+            Inst::build(OpClass::Store)
+                .seq(0)
+                .src0(Reg::int(1))
+                .mem(MemInfo::dword(0x40))
+                .finish(),
             Inst::build(OpClass::Load)
                 .seq(1)
                 .dest(Reg::int(2))
                 .mem(MemInfo::dword(0x40))
                 .finish(),
-            Inst::build(OpClass::Store).seq(2).src0(Reg::int(1)).mem(MemInfo::dword(0x80)).finish(),
+            Inst::build(OpClass::Store)
+                .seq(2)
+                .src0(Reg::int(1))
+                .mem(MemInfo::dword(0x80))
+                .finish(),
         ];
         let t = TraceProgram::new(insts);
         assert!((l1_store_reuse(&t) - 0.5).abs() < 1e-12);
@@ -246,7 +252,10 @@ mod tests {
 
     #[test]
     fn sdc_fit_scales_with_rate() {
-        let s = SdcDueSplit { sdc_bits: 1000.0, due_bits: 0.0 };
+        let s = SdcDueSplit {
+            sdc_bits: 1000.0,
+            due_bits: 0.0,
+        };
         assert!((s.sdc_fit(2e-3) - 2.0).abs() < 1e-12);
     }
 }

@@ -30,7 +30,11 @@ pub const GATES_PARALLEL_CRC16: u32 = 238;
 pub fn crc16_byte(mut crc: u16, byte: u8) -> u16 {
     crc ^= (byte as u16) << 8;
     for _ in 0..8 {
-        crc = if crc & 0x8000 != 0 { (crc << 1) ^ CRC16_CCITT_POLY } else { crc << 1 };
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ CRC16_CCITT_POLY
+        } else {
+            crc << 1
+        };
     }
     crc
 }
@@ -42,7 +46,11 @@ const fn build_table() -> [u16; 256] {
         let mut crc = (i as u16) << 8;
         let mut b = 0;
         while b < 8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ CRC16_CCITT_POLY } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ CRC16_CCITT_POLY
+            } else {
+                crc << 1
+            };
             b += 1;
         }
         table[i] = crc;
@@ -104,7 +112,10 @@ impl Default for Fingerprint {
 impl Fingerprint {
     /// A fresh fingerprint at the interval-start value.
     pub fn new() -> Self {
-        Fingerprint { crc: CRC16_INIT, count: 0 }
+        Fingerprint {
+            crc: CRC16_INIT,
+            count: 0,
+        }
     }
 
     /// Folds one committed instruction into the fingerprint.

@@ -21,7 +21,10 @@ impl DmrReg {
     /// Stores `value` into both copies.
     #[inline]
     pub fn store(value: u64) -> Self {
-        DmrReg { main: value, shadow: value }
+        DmrReg {
+            main: value,
+            shadow: value,
+        }
     }
 
     /// Reads the register, comparing the copies. `Err` carries the two

@@ -169,16 +169,16 @@ impl Coverage {
 
     /// An unprotected baseline core (no detection anywhere).
     pub fn baseline() -> Self {
-        Coverage { name: "Baseline", map: ALL_TARGETS.iter().map(|&t| (t, None)).collect() }
+        Coverage {
+            name: "Baseline",
+            map: ALL_TARGETS.iter().map(|&t| (t, None)).collect(),
+        }
     }
 
     /// A custom protection placement (§VIII: "our architecture framework
     /// allows for possible customization at the hardware") — e.g. a
     /// cost-constrained subset of UnSync's full placement.
-    pub fn custom(
-        name: &'static str,
-        map: Vec<(FaultTarget, Option<DetectionMechanism>)>,
-    ) -> Self {
+    pub fn custom(name: &'static str, map: Vec<(FaultTarget, Option<DetectionMechanism>)>) -> Self {
         for &t in &ALL_TARGETS {
             assert!(
                 map.iter().filter(|(mt, _)| *mt == t).count() == 1,
@@ -204,7 +204,10 @@ impl Coverage {
 
     /// The mechanism covering `target`, if any.
     pub fn mechanism(&self, target: FaultTarget) -> Option<DetectionMechanism> {
-        self.map.iter().find(|(t, _)| *t == target).and_then(|&(_, m)| m)
+        self.map
+            .iter()
+            .find(|(t, _)| *t == target)
+            .and_then(|&(_, m)| m)
     }
 
     /// Whether a strike on `target` is detected (or corrected).
@@ -216,8 +219,11 @@ impl Coverage {
     /// quantitative ROEC.
     pub fn roec_fraction(&self) -> f64 {
         let total: u64 = ALL_TARGETS.iter().map(|t| t.bits()).sum();
-        let covered: u64 =
-            ALL_TARGETS.iter().filter(|&&t| self.covers(t)).map(|t| t.bits()).sum();
+        let covered: u64 = ALL_TARGETS
+            .iter()
+            .filter(|&&t| self.covers(t))
+            .map(|t| t.bits())
+            .sum();
         covered as f64 / total as f64
     }
 }
@@ -259,7 +265,10 @@ impl FaultSite {
         let mut point = h % total;
         for &t in &ALL_TARGETS {
             if point < t.bits() {
-                return FaultSite { target: t, bit_offset: point };
+                return FaultSite {
+                    target: t,
+                    bit_offset: point,
+                };
             }
             point -= t.bits();
         }
@@ -285,7 +294,12 @@ impl PairFault {
     /// `at`: the struck core and site derive from `(seed, at)`.
     pub fn plan(seed: u64, at: u64) -> PairFault {
         let core = (splitmix64(seed ^ at.wrapping_mul(0x2545_f491_4f6c_dd1d)) & 1) as usize;
-        PairFault { at, core, site: FaultSite::plan(seed, at), kind: FaultKind::Single }
+        PairFault {
+            at,
+            core,
+            site: FaultSite::plan(seed, at),
+            kind: FaultKind::Single,
+        }
     }
 
     /// Plans the fault set a given soft-error rate produces over a
@@ -313,10 +327,17 @@ impl InjectionPlan {
     /// Plans `count` faults striking at evenly spread instruction indices
     /// over `horizon` instructions (deterministic for a given seed).
     pub fn spread(seed: u64, count: u64, horizon: u64) -> Self {
-        assert!(count <= horizon, "cannot inject {count} faults over {horizon} instructions");
+        assert!(
+            count <= horizon,
+            "cannot inject {count} faults over {horizon} instructions"
+        );
         let sites = (0..count)
             .map(|i| {
-                let at = if count == 0 { 0 } else { (i * horizon + horizon / 2) / count.max(1) };
+                let at = if count == 0 {
+                    0
+                } else {
+                    (i * horizon + horizon / 2) / count.max(1)
+                };
                 (at, FaultSite::plan(seed, at))
             })
             .collect();
@@ -325,7 +346,10 @@ impl InjectionPlan {
 
     /// Plans faults at the given explicit instruction indices.
     pub fn at_indices(seed: u64, indices: &[u64]) -> Self {
-        let sites = indices.iter().map(|&at| (at, FaultSite::plan(seed, at))).collect();
+        let sites = indices
+            .iter()
+            .map(|&at| (at, FaultSite::plan(seed, at)))
+            .collect();
         InjectionPlan { seed, sites }
     }
 
@@ -401,7 +425,11 @@ mod tests {
         let c = Coverage::reunion();
         for t in ALL_TARGETS {
             if t.in_reunion_roec() {
-                assert_eq!(c.mechanism(t), Some(DetectionMechanism::Fingerprint), "{t:?}");
+                assert_eq!(
+                    c.mechanism(t),
+                    Some(DetectionMechanism::Fingerprint),
+                    "{t:?}"
+                );
             }
         }
     }

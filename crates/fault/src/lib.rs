@@ -36,7 +36,9 @@ pub mod ser;
 pub use avf::{AvfEstimate, SdcDueSplit};
 pub use crc::{crc16_word, Fingerprint, CRC16_CCITT_POLY};
 pub use dmr::{DmrReg, TmrReg};
-pub use inject::{Coverage, DetectionMechanism, FaultKind, FaultSite, FaultTarget, InjectionPlan, PairFault};
+pub use inject::{
+    Coverage, DetectionMechanism, FaultKind, FaultSite, FaultTarget, InjectionPlan, PairFault,
+};
 pub use parity::{parity_bit, ParityLine, ParityWord};
 pub use scrub::ScrubModel;
 pub use secded::{SecdedCodeword, SecdedOutcome};

@@ -43,7 +43,10 @@ impl ParityWord {
     /// Stores `data`, generating its parity bit (the "write" side).
     #[inline]
     pub fn store(data: u64) -> Self {
-        ParityWord { data, parity: parity_bit(data) }
+        ParityWord {
+            data,
+            parity: parity_bit(data),
+        }
     }
 
     /// Reads the data and verifies parity (the "read" side).
@@ -104,7 +107,10 @@ pub struct ParityLine<const W: usize> {
 impl<const W: usize> ParityLine<W> {
     /// Stores a full line, generating its parity.
     pub fn store(words: [u64; W]) -> Self {
-        ParityLine { parity: Self::line_parity(&words), words }
+        ParityLine {
+            parity: Self::line_parity(&words),
+            words,
+        }
     }
 
     /// Recomputed-vs-stored parity check for the whole line.

@@ -121,7 +121,11 @@ mod tests {
         let slow = m.uncorrectable_fit(86_400.0); // daily
         let fast = m.uncorrectable_fit(3_600.0); // hourly
         assert!(fast < slow);
-        assert!((slow / fast - 24.0).abs() < 0.5, "rate ∝ interval: {}", slow / fast);
+        assert!(
+            (slow / fast - 24.0).abs() < 0.5,
+            "rate ∝ interval: {}",
+            slow / fast
+        );
     }
 
     #[test]
@@ -145,7 +149,11 @@ mod tests {
 
     #[test]
     fn poisson_exact_and_approximation_agree_at_the_crossover() {
-        let m = ScrubModel { fit_per_bit: 1.0, codeword_bits: 72, codewords: 1 };
+        let m = ScrubModel {
+            fit_per_bit: 1.0,
+            codeword_bits: 72,
+            codewords: 1,
+        };
         // Pick intervals straddling the μ = 1e-4 switch.
         let lambda = 1.0 / 1e9 / 3600.0;
         let t_at = |mu: f64| mu / (lambda * 72.0);

@@ -121,11 +121,19 @@ impl SecdedCodeword {
             (0, true) => SecdedOutcome::Clean(self.extract()),
             (0, false) => {
                 // The overall parity bit itself was struck; data is intact.
-                SecdedOutcome::Corrected { data: self.extract(), bit: 0 }
+                SecdedOutcome::Corrected {
+                    data: self.extract(),
+                    bit: 0,
+                }
             }
             (s, false) if s < CODEWORD_BITS => {
-                let fixed = SecdedCodeword { bits: self.bits ^ (1u128 << s) };
-                SecdedOutcome::Corrected { data: fixed.extract(), bit: s }
+                let fixed = SecdedCodeword {
+                    bits: self.bits ^ (1u128 << s),
+                };
+                SecdedOutcome::Corrected {
+                    data: fixed.extract(),
+                    bit: s,
+                }
             }
             // Non-zero syndrome with even overall parity ⇒ two flips.
             // A syndrome pointing past the codeword also means multi-bit.
@@ -169,8 +177,17 @@ mod tests {
 
     #[test]
     fn clean_round_trip() {
-        for data in [0u64, 1, u64::MAX, 0xdead_beef_cafe_babe, 0x5555_5555_5555_5555] {
-            assert_eq!(SecdedCodeword::encode(data).decode(), SecdedOutcome::Clean(data));
+        for data in [
+            0u64,
+            1,
+            u64::MAX,
+            0xdead_beef_cafe_babe,
+            0x5555_5555_5555_5555,
+        ] {
+            assert_eq!(
+                SecdedCodeword::encode(data).decode(),
+                SecdedOutcome::Clean(data)
+            );
         }
     }
 

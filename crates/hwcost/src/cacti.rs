@@ -40,7 +40,9 @@ pub enum CacheProtection {
 impl CacheProtection {
     /// UnSync's configuration: 1 parity bit per 256-bit line.
     pub fn parity_per_256() -> Self {
-        CacheProtection::Parity { bits_per_parity: 256 }
+        CacheProtection::Parity {
+            bits_per_parity: 256,
+        }
     }
 
     /// Extra storage bits per data bit.
@@ -94,7 +96,10 @@ impl CacheModel {
     /// A cache of `size_bytes` with `protection`.
     pub fn new(size_bytes: u64, protection: CacheProtection) -> Self {
         assert!(size_bytes > 0);
-        CacheModel { size_bytes, protection }
+        CacheModel {
+            size_bytes,
+            protection,
+        }
     }
 
     /// The Table II L1 (32 KB).
@@ -144,7 +149,11 @@ mod tests {
     fn parity_l1_matches_table2() {
         // Table II UnSync: 0.1939 mm², 38.45 mW.
         let c = CacheModel::l1(CacheProtection::parity_per_256());
-        assert!((c.area_mm2() - 0.1939).abs() < 0.0002, "area {}", c.area_mm2());
+        assert!(
+            (c.area_mm2() - 0.1939).abs() < 0.0002,
+            "area {}",
+            c.area_mm2()
+        );
         assert!((c.power_mw() - 38.45).abs() < 0.1, "power {}", c.power_mw());
         // "0.2 % increased cache area" (§VI-A1).
         let delta = pct(c.area_mm2(), 0.1934);
@@ -155,7 +164,11 @@ mod tests {
     fn secded_l1_matches_table2() {
         // Table II Reunion: 0.2086 mm², 42.15 mW.
         let c = CacheModel::l1(CacheProtection::Secded);
-        assert!((c.area_mm2() - 0.2086).abs() < 0.0005, "area {}", c.area_mm2());
+        assert!(
+            (c.area_mm2() - 0.2086).abs() < 0.0005,
+            "area {}",
+            c.area_mm2()
+        );
         assert!((c.power_mw() - 42.15).abs() < 0.3, "power {}", c.power_mw());
         // "7.85 % in cache area", "around 10 % more cache power".
         assert!((pct(c.area_mm2(), 0.1934) - 7.86).abs() < 0.3);

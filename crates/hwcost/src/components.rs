@@ -36,7 +36,11 @@ impl Component {
     /// A block built from an explicit area/power pair.
     pub fn new(name: &'static str, area_um2: f64, power_mw: f64) -> Self {
         assert!(area_um2 >= 0.0 && power_mw >= 0.0, "{name}: negative cost");
-        Component { name, area_um2, power_mw }
+        Component {
+            name,
+            area_um2,
+            power_mw,
+        }
     }
 
     /// A block of `gates` gate-equivalents with activity factor
@@ -53,7 +57,11 @@ impl Component {
     /// energy proportional to the row width (modelled as a power figure
     /// for one access per cycle at 300 MHz).
     pub fn sram_array(name: &'static str, bits: u64, cell_um2: f64, power_mw: f64) -> Self {
-        Component { name, area_um2: bits as f64 * cell_um2, power_mw }
+        Component {
+            name,
+            area_um2: bits as f64 * cell_um2,
+            power_mw,
+        }
     }
 }
 
@@ -119,7 +127,10 @@ mod tests {
         // §IV-3: FI = 50 ⇒ 57 entries × 66 bits × 10.40 µm² = 39 125 µm².
         let csb = Component::sram_array("csb", 57 * 66, CSB_CELL_UM2, 0.0);
         assert!((csb.area_um2 - 39_124.8).abs() < 0.1);
-        assert!((csb.area_um2 - 39_125.0).abs() < 1.0, "paper rounds to 39125");
+        assert!(
+            (csb.area_um2 - 39_125.0).abs() < 1.0,
+            "paper rounds to 39125"
+        );
     }
 
     #[test]

@@ -224,29 +224,57 @@ mod tests {
     #[test]
     fn baseline_core_matches_table2() {
         let m = CoreModel::mips_baseline();
-        assert!((m.core_area_um2() - 98_558.0).abs() < 1.0, "{}", m.core_area_um2());
+        assert!(
+            (m.core_area_um2() - 98_558.0).abs() < 1.0,
+            "{}",
+            m.core_area_um2()
+        );
         assert!((m.core_power_mw() - 1_153.0).abs() < 1.0);
-        assert!((m.total_area_um2() - 291_958.0).abs() < 100.0, "{}", m.total_area_um2());
+        assert!(
+            (m.total_area_um2() - 291_958.0).abs() < 100.0,
+            "{}",
+            m.total_area_um2()
+        );
         assert!((m.total_power_w() - 1.19).abs() < 0.005);
     }
 
     #[test]
     fn reunion_core_matches_table2() {
         let m = CoreModel::reunion();
-        assert!((m.core_area_um2() - 144_005.0).abs() < 10.0, "{}", m.core_area_um2());
-        assert!((m.core_power_mw() - 2_038.0).abs() < 2.0, "{}", m.core_power_mw());
-        assert!((m.total_area_um2() - 352_605.0).abs() < 600.0, "{}", m.total_area_um2());
+        assert!(
+            (m.core_area_um2() - 144_005.0).abs() < 10.0,
+            "{}",
+            m.core_area_um2()
+        );
+        assert!(
+            (m.core_power_mw() - 2_038.0).abs() < 2.0,
+            "{}",
+            m.core_power_mw()
+        );
+        assert!(
+            (m.total_area_um2() - 352_605.0).abs() < 600.0,
+            "{}",
+            m.total_area_um2()
+        );
         assert!((m.total_power_w() - 2.08).abs() < 0.01);
     }
 
     #[test]
     fn unsync_core_matches_table2() {
         let m = CoreModel::unsync();
-        assert!((m.core_area_um2() - 115_945.0).abs() < 10.0, "{}", m.core_area_um2());
+        assert!(
+            (m.core_area_um2() - 115_945.0).abs() < 10.0,
+            "{}",
+            m.core_area_um2()
+        );
         assert!((m.core_power_mw() - 1_635.0).abs() < 2.0);
         assert!((m.cb_area_um2() - 3_870.0).abs() < 1.0);
         assert!((m.cb_power_mw() - 0.772_58).abs() < 1e-6);
-        assert!((m.total_area_um2() - 313_715.0).abs() < 300.0, "{}", m.total_area_um2());
+        assert!(
+            (m.total_area_um2() - 313_715.0).abs() < 300.0,
+            "{}",
+            m.total_area_um2()
+        );
         assert!((m.total_power_w() - 1.67).abs() < 0.01);
     }
 
@@ -265,7 +293,10 @@ mod tests {
         // than Reunion… power claim ⇒ (2.08 − 1.67)/… ≈ relative to the
         // *overheads*; check total ratios directly.
         let area_saving = 1.0 - unsync.total_area_um2() / reunion.total_area_um2();
-        assert!((area_saving * 100.0 - 11.0).abs() < 1.5, "saving {area_saving}");
+        assert!(
+            (area_saving * 100.0 - 11.0).abs() < 1.5,
+            "saving {area_saving}"
+        );
         let power_saving = 1.0 - unsync.total_power_w() / reunion.total_power_w();
         assert!(power_saving > 0.15, "saving {power_saving}");
     }
@@ -277,10 +308,19 @@ mod tests {
         let check: f64 = CoreModel::reunion()
             .components
             .iter()
-            .filter(|c| !CoreModel::mips_baseline().components.iter().any(|b| b.name == c.name))
+            .filter(|c| {
+                !CoreModel::mips_baseline()
+                    .components
+                    .iter()
+                    .any(|b| b.name == c.name)
+            })
             .map(|c| c.area_um2)
             .sum();
-        assert!((check / base - 0.46).abs() < 0.01, "check/base = {}", check / base);
+        assert!(
+            (check / base - 0.46).abs() < 0.01,
+            "check/base = {}",
+            check / base
+        );
         // And ≈75 % of the Execute stage's area (§IV-1).
         let execute = CoreModel::mips_baseline()
             .components
@@ -288,7 +328,11 @@ mod tests {
             .find(|c| c.name.starts_with("execute"))
             .unwrap()
             .area_um2;
-        assert!((check / execute - 0.75).abs() < 0.01, "check/execute = {}", check / execute);
+        assert!(
+            (check / execute - 0.75).abs() < 0.01,
+            "check/execute = {}",
+            check / execute
+        );
     }
 
     #[test]
@@ -317,8 +361,7 @@ mod tests {
         );
         // Even a 4 KB CB (512 entries) keeps UnSync well under Reunion.
         assert!(
-            CoreModel::unsync_with_cb(512).total_area_um2()
-                < CoreModel::reunion().total_area_um2()
+            CoreModel::unsync_with_cb(512).total_area_um2() < CoreModel::reunion().total_area_um2()
         );
     }
 }

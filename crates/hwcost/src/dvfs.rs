@@ -67,7 +67,9 @@ impl DvfsModel {
     pub fn power_at(&self, model: &CoreModel, f_hz: f64) -> f64 {
         let v = self.voltage_at(f_hz);
         let p_ref = model.total_power_w();
-        let dynamic = p_ref * (1.0 - self.static_fraction) * (f_hz / SYNTHESIS_CLOCK_HZ)
+        let dynamic = p_ref
+            * (1.0 - self.static_fraction)
+            * (f_hz / SYNTHESIS_CLOCK_HZ)
             * (v / self.v_max).powi(2);
         let static_p = p_ref * self.static_fraction * (v / self.v_max);
         dynamic + static_p
@@ -81,13 +83,7 @@ impl DvfsModel {
     }
 
     /// Energy of one core of `model` over the workload at `f_hz`, joules.
-    pub fn energy_j(
-        &self,
-        model: &CoreModel,
-        core_cycles: u64,
-        mem_time_s: f64,
-        f_hz: f64,
-    ) -> f64 {
+    pub fn energy_j(&self, model: &CoreModel, core_cycles: u64, mem_time_s: f64, f_hz: f64) -> f64 {
         self.power_at(model, f_hz) * self.runtime_s(core_cycles, mem_time_s, f_hz)
     }
 
@@ -166,7 +162,9 @@ mod tests {
     #[test]
     fn iso_performance_is_none_when_unreachable() {
         let d = DvfsModel::default();
-        assert!(d.iso_performance_frequency(10_000_000_000, 0.0, 1e-3).is_none());
+        assert!(d
+            .iso_performance_frequency(10_000_000_000, 0.0, 1e-3)
+            .is_none());
     }
 
     proptest! {

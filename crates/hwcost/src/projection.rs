@@ -61,10 +61,14 @@ pub struct DieProjection {
 impl DieProjection {
     /// Projects `chip` using the per-core area overheads of the given
     /// core models.
-    pub fn project(chip: ManyCoreChip, base: &CoreModel, reunion: &CoreModel, unsync: &CoreModel) -> Self {
-        let project_one = |cao: f64| {
-            chip.cores as f64 * chip.core_area_mm2 * cao + chip.die_area_mm2
-        };
+    pub fn project(
+        chip: ManyCoreChip,
+        base: &CoreModel,
+        reunion: &CoreModel,
+        unsync: &CoreModel,
+    ) -> Self {
+        let project_one =
+            |cao: f64| chip.cores as f64 * chip.core_area_mm2 * cao + chip.die_area_mm2;
         DieProjection {
             chip,
             reunion_mm2: project_one(reunion.area_overhead_vs(base)),
@@ -96,9 +100,21 @@ mod tests {
     fn table3_reunion_die_areas() {
         let p = projections();
         // Paper: 316.54 / 377.85 / 549.76 mm².
-        assert!((p[0].reunion_mm2 - 316.54).abs() < 0.7, "{}", p[0].reunion_mm2);
-        assert!((p[1].reunion_mm2 - 377.85).abs() < 0.7, "{}", p[1].reunion_mm2);
-        assert!((p[2].reunion_mm2 - 549.76).abs() < 1.2, "{}", p[2].reunion_mm2);
+        assert!(
+            (p[0].reunion_mm2 - 316.54).abs() < 0.7,
+            "{}",
+            p[0].reunion_mm2
+        );
+        assert!(
+            (p[1].reunion_mm2 - 377.85).abs() < 0.7,
+            "{}",
+            p[1].reunion_mm2
+        );
+        assert!(
+            (p[2].reunion_mm2 - 549.76).abs() < 1.2,
+            "{}",
+            p[2].reunion_mm2
+        );
     }
 
     #[test]
@@ -106,8 +122,16 @@ mod tests {
         let p = projections();
         // Paper: 289.9 / 347.16 / 498.61 mm².
         assert!((p[0].unsync_mm2 - 289.9).abs() < 0.7, "{}", p[0].unsync_mm2);
-        assert!((p[1].unsync_mm2 - 347.16).abs() < 0.7, "{}", p[1].unsync_mm2);
-        assert!((p[2].unsync_mm2 - 498.61).abs() < 1.2, "{}", p[2].unsync_mm2);
+        assert!(
+            (p[1].unsync_mm2 - 347.16).abs() < 0.7,
+            "{}",
+            p[1].unsync_mm2
+        );
+        assert!(
+            (p[2].unsync_mm2 - 498.61).abs() < 1.2,
+            "{}",
+            p[2].unsync_mm2
+        );
     }
 
     #[test]

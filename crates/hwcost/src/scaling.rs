@@ -31,8 +31,13 @@ pub enum TechNode {
 }
 
 /// All modelled nodes, largest feature first.
-pub const ALL_NODES: [TechNode; 5] =
-    [TechNode::Nm90, TechNode::Nm65, TechNode::Nm45, TechNode::Nm32, TechNode::Nm22];
+pub const ALL_NODES: [TechNode; 5] = [
+    TechNode::Nm90,
+    TechNode::Nm65,
+    TechNode::Nm45,
+    TechNode::Nm32,
+    TechNode::Nm22,
+];
 
 impl TechNode {
     /// Feature size in nanometres.
@@ -119,7 +124,10 @@ mod tests {
             let su = scale(&unsync, node);
             // Relative overhead is node-invariant (both scale together).
             let overhead = su.total_area_um2 / sb.total_area_um2 - 1.0;
-            assert!((overhead - unsync.area_overhead_vs(&base)).abs() < 1e-9, "{node:?}");
+            assert!(
+                (overhead - unsync.area_overhead_vs(&base)).abs() < 1e-9,
+                "{node:?}"
+            );
         }
         assert!(
             scale(&unsync, TechNode::Nm22).total_area_um2

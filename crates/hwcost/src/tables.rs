@@ -107,11 +107,19 @@ impl Table2 {
         ));
         s.push_str("--- Chip-Area Overhead ---\n");
         for (label, f) in [
-            ("Core (um^2)", |r: &Table2Row| format!("{:.0}", r.core_area_um2)),
-            ("L1 Cache (mm^2)", |r: &Table2Row| format!("{:.4}", r.l1_area_mm2)),
+            ("Core (um^2)", |r: &Table2Row| {
+                format!("{:.0}", r.core_area_um2)
+            }),
+            ("L1 Cache (mm^2)", |r: &Table2Row| {
+                format!("{:.4}", r.l1_area_mm2)
+            }),
             ("CB (mm^2)", |r: &Table2Row| fmt_opt(r.cb_area_mm2, 5)),
-            ("Total Area (um^2)", |r: &Table2Row| format!("{:.0}", r.total_area_um2)),
-            ("Overhead (%)", |r: &Table2Row| fmt_opt(r.area_overhead_pct, 2)),
+            ("Total Area (um^2)", |r: &Table2Row| {
+                format!("{:.0}", r.total_area_um2)
+            }),
+            ("Overhead (%)", |r: &Table2Row| {
+                fmt_opt(r.area_overhead_pct, 2)
+            }),
         ] as [(&str, fn(&Table2Row) -> String); 5]
         {
             s.push_str(&format!(
@@ -125,10 +133,16 @@ impl Table2 {
         s.push_str("--- Power Overhead ---\n");
         for (label, f) in [
             ("Core (W)", |r: &Table2Row| format!("{:.3}", r.core_power_w)),
-            ("L1 Cache (mW)", |r: &Table2Row| format!("{:.2}", r.l1_power_mw)),
+            ("L1 Cache (mW)", |r: &Table2Row| {
+                format!("{:.2}", r.l1_power_mw)
+            }),
             ("CB (mW)", |r: &Table2Row| fmt_opt(r.cb_power_mw, 5)),
-            ("Total Power (W)", |r: &Table2Row| format!("{:.2}", r.total_power_w)),
-            ("Overhead (%)", |r: &Table2Row| fmt_opt(r.power_overhead_pct, 2)),
+            ("Total Power (W)", |r: &Table2Row| {
+                format!("{:.2}", r.total_power_w)
+            }),
+            ("Overhead (%)", |r: &Table2Row| {
+                fmt_opt(r.power_overhead_pct, 2)
+            }),
         ] as [(&str, fn(&Table2Row) -> String); 5]
         {
             s.push_str(&format!(
@@ -149,10 +163,7 @@ impl Table3 {
         let mut s = String::new();
         s.push_str(&format!(
             "{:<28} {:>14} {:>14} {:>14}\n",
-            "Parameter",
-            self.rows[0].chip.name,
-            self.rows[1].chip.name,
-            self.rows[2].chip.name
+            "Parameter", self.rows[0].chip.name, self.rows[1].chip.name, self.rows[2].chip.name
         ));
         let rows = &self.rows;
         s.push_str(&format!(
@@ -182,7 +193,10 @@ impl Table3 {
         ));
         s.push_str(&format!(
             "{:<28} {:>14.2} {:>14.2} {:>14.2}\n",
-            "Reunion Die Area (mm^2)", rows[0].reunion_mm2, rows[1].reunion_mm2, rows[2].reunion_mm2
+            "Reunion Die Area (mm^2)",
+            rows[0].reunion_mm2,
+            rows[1].reunion_mm2,
+            rows[2].reunion_mm2
         ));
         s.push_str(&format!(
             "{:<28} {:>14.2} {:>14.2} {:>14.2}\n",
@@ -222,7 +236,12 @@ mod tests {
             assert!(r2.contains(needle), "table2 render missing {needle}");
         }
         let r3 = table3().render();
-        for needle in ["Intel Polaris", "Tilera Tile64", "NVIDIA GeForce", "DA_Reunion"] {
+        for needle in [
+            "Intel Polaris",
+            "Tilera Tile64",
+            "NVIDIA GeForce",
+            "DA_Reunion",
+        ] {
             assert!(r3.contains(needle), "table3 render missing {needle}");
         }
     }

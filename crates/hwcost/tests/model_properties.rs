@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use unsync_hwcost::{
-    cb_area_um2, CacheModel, CacheProtection, CoreModel, DieProjection, EnergyReport,
-    MechanismCost, ManyCoreChip,
+    cb_area_um2, CacheModel, CacheProtection, CoreModel, DieProjection, EnergyReport, ManyCoreChip,
+    MechanismCost,
 };
 
 proptest! {
@@ -98,10 +98,22 @@ proptest! {
 
 #[test]
 fn component_breakdown_sums_to_core_totals() {
-    for model in [CoreModel::mips_baseline(), CoreModel::reunion(), CoreModel::unsync()] {
+    for model in [
+        CoreModel::mips_baseline(),
+        CoreModel::reunion(),
+        CoreModel::unsync(),
+    ] {
         let sum_area: f64 = model.components.iter().map(|c| c.area_um2).sum();
         let sum_power: f64 = model.components.iter().map(|c| c.power_mw).sum();
-        assert!((sum_area - model.core_area_um2()).abs() < 1e-6, "{}", model.name);
-        assert!((sum_power - model.core_power_mw()).abs() < 1e-6, "{}", model.name);
+        assert!(
+            (sum_area - model.core_area_um2()).abs() < 1e-6,
+            "{}",
+            model.name
+        );
+        assert!(
+            (sum_power - model.core_power_mw()).abs() < 1e-6,
+            "{}",
+            model.name
+        );
     }
 }

@@ -25,7 +25,10 @@ pub const MAGIC: &[u8; 4] = b"UTRC";
 pub const VERSION: u16 = 1;
 
 fn op_code(op: OpClass) -> u8 {
-    ALL_OP_CLASSES.iter().position(|&c| c == op).expect("known class") as u8
+    ALL_OP_CLASSES
+        .iter()
+        .position(|&c| c == op)
+        .expect("known class") as u8
 }
 
 fn op_from_code(code: u8) -> Result<OpClass, String> {
@@ -114,11 +117,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -218,13 +225,20 @@ mod tests {
                 .seq(2)
                 .pc(0x400008)
                 .src0(Reg::int(4))
-                .mem(MemInfo { addr: 0x1000_0040, size: 4 })
+                .mem(MemInfo {
+                    addr: 0x1000_0040,
+                    size: 4,
+                })
                 .finish(),
             Inst::build(OpClass::Branch)
                 .seq(3)
                 .pc(0x40000c)
                 .src0(Reg::fp(2))
-                .branch(BranchInfo { taken: true, mispredicted: true, target: 0x400000 })
+                .branch(BranchInfo {
+                    taken: true,
+                    mispredicted: true,
+                    target: 0x400000,
+                })
                 .finish(),
             Inst::build(OpClass::Trap).seq(4).pc(0x400010).finish(),
         ];

@@ -36,7 +36,13 @@ impl ArchState {
     /// still deterministic), the zero register holds zero, `pc = 0`.
     pub fn new() -> Self {
         let regs = (0..NUM_REGS as u64)
-            .map(|i| if i == Reg::ZERO.index() as u64 { 0 } else { splitmix64(i + 1) })
+            .map(|i| {
+                if i == Reg::ZERO.index() as u64 {
+                    0
+                } else {
+                    splitmix64(i + 1)
+                }
+            })
             .collect();
         ArchState { regs, pc: 0 }
     }
@@ -146,7 +152,10 @@ impl ArchMemory {
     #[inline]
     pub fn read(&self, addr: u64) -> u64 {
         let a = addr & !7;
-        self.words.get(&a).copied().unwrap_or_else(|| splitmix64(a ^ 0xdead_beef_cafe_f00d))
+        self.words
+            .get(&a)
+            .copied()
+            .unwrap_or_else(|| splitmix64(a ^ 0xdead_beef_cafe_f00d))
     }
 
     /// Writes the 8-byte word containing `addr`.
@@ -282,7 +291,11 @@ mod tests {
             .seq(0)
             .pc(0x40)
             .src0(Reg::int(1))
-            .branch(BranchInfo { taken: true, mispredicted: false, target: 0x200 })
+            .branch(BranchInfo {
+                taken: true,
+                mispredicted: false,
+                target: 0x200,
+            })
             .finish();
         s.execute(&b, &mut m);
         assert_eq!(s.pc, 0x200);
@@ -290,7 +303,11 @@ mod tests {
             .seq(1)
             .pc(0x200)
             .src0(Reg::int(1))
-            .branch(BranchInfo { taken: false, mispredicted: false, target: 0x300 })
+            .branch(BranchInfo {
+                taken: false,
+                mispredicted: false,
+                target: 0x300,
+            })
             .finish();
         s.execute(&nb, &mut m);
         assert_eq!(s.pc, 0x204);

@@ -93,10 +93,16 @@ impl Inst {
     /// info present iff branch, loads have destinations, stores don't.
     pub fn validate(&self) -> Result<(), String> {
         if self.op.is_mem() != self.mem.is_some() {
-            return Err(format!("inst {}: mem info mismatch for {:?}", self.seq, self.op));
+            return Err(format!(
+                "inst {}: mem info mismatch for {:?}",
+                self.seq, self.op
+            ));
         }
         if self.op.is_branch() != self.branch.is_some() {
-            return Err(format!("inst {}: branch info mismatch for {:?}", self.seq, self.op));
+            return Err(format!(
+                "inst {}: branch info mismatch for {:?}",
+                self.seq, self.op
+            ));
         }
         if let Some(m) = self.mem {
             if !matches!(m.size, 1 | 2 | 4 | 8) {
@@ -104,10 +110,16 @@ impl Inst {
             }
         }
         if self.op.is_store() && self.dest.is_some() {
-            return Err(format!("inst {}: store with destination register", self.seq));
+            return Err(format!(
+                "inst {}: store with destination register",
+                self.seq
+            ));
         }
         if self.op.is_load() && self.dest.is_none() {
-            return Err(format!("inst {}: load without destination register", self.seq));
+            return Err(format!(
+                "inst {}: load without destination register",
+                self.seq
+            ));
         }
         Ok(())
     }
@@ -115,7 +127,13 @@ impl Inst {
 
 impl std::fmt::Display for Inst {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:>6}  {:#010x}  {:<10}", self.seq, self.pc, format!("{:?}", self.op))?;
+        write!(
+            f,
+            "{:>6}  {:#010x}  {:<10}",
+            self.seq,
+            self.pc,
+            format!("{:?}", self.op)
+        )?;
         if let Some(d) = self.dest {
             write!(f, " {d}")?;
         }
@@ -288,7 +306,10 @@ mod tests {
     #[test]
     fn bad_access_size_rejected() {
         let mut i = load(0, 0x40);
-        i.mem = Some(MemInfo { addr: 0x40, size: 3 });
+        i.mem = Some(MemInfo {
+            addr: 0x40,
+            size: 3,
+        });
         assert!(i.validate().is_err());
     }
 
@@ -300,7 +321,11 @@ mod tests {
         let b = Inst::build(OpClass::Branch)
             .seq(9)
             .pc(0x40)
-            .branch(BranchInfo { taken: true, mispredicted: true, target: 0x80 })
+            .branch(BranchInfo {
+                taken: true,
+                mispredicted: true,
+                target: 0x80,
+            })
             .finish();
         assert!(b.to_string().contains("T!"));
     }
@@ -308,11 +333,19 @@ mod tests {
     #[test]
     fn mispredicted_branch_detection() {
         let b = Inst::build(OpClass::Branch)
-            .branch(BranchInfo { taken: true, mispredicted: true, target: 0x80 })
+            .branch(BranchInfo {
+                taken: true,
+                mispredicted: true,
+                target: 0x80,
+            })
             .finish();
         assert!(b.is_mispredicted_branch());
         let nb = Inst::build(OpClass::Branch)
-            .branch(BranchInfo { taken: false, mispredicted: false, target: 0x80 })
+            .branch(BranchInfo {
+                taken: false,
+                mispredicted: false,
+                target: 0x80,
+            })
             .finish();
         assert!(!nb.is_mispredicted_branch());
     }

@@ -131,7 +131,10 @@ impl OpClass {
     #[inline]
     pub fn fu_kind(self) -> FuKind {
         match self {
-            OpClass::IntAlu | OpClass::Branch | OpClass::Trap | OpClass::MemBarrier
+            OpClass::IntAlu
+            | OpClass::Branch
+            | OpClass::Trap
+            | OpClass::MemBarrier
             | OpClass::Nop => FuKind::IntAlu,
             OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
             OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => FuKind::Fp,

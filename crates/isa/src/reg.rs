@@ -33,7 +33,10 @@ impl Reg {
     /// Panics if `idx >= 32`.
     #[inline]
     pub fn int(idx: u8) -> Self {
-        assert!(idx < NUM_INT_REGS, "integer register index {idx} out of range");
+        assert!(
+            idx < NUM_INT_REGS,
+            "integer register index {idx} out of range"
+        );
         Reg(idx)
     }
 

@@ -41,7 +41,10 @@ impl TraceProgram {
             if let Err(e) = inst.validate() {
                 panic!("invalid trace: {e}");
             }
-            assert_eq!(inst.seq, i as u64, "trace sequence numbers must be dense from 0");
+            assert_eq!(
+                inst.seq, i as u64,
+                "trace sequence numbers must be dense from 0"
+            );
         }
         TraceProgram { insts, cursor: 0 }
     }
@@ -115,10 +118,16 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics from a slice of instructions.
     pub fn from_insts(insts: &[Inst]) -> Self {
-        let mut stats = TraceStats { total: insts.len() as u64, ..Default::default() };
+        let mut stats = TraceStats {
+            total: insts.len() as u64,
+            ..Default::default()
+        };
         let mut lines = std::collections::BTreeSet::new();
         for inst in insts {
-            let idx = ALL_OP_CLASSES.iter().position(|&c| c == inst.op).expect("known class");
+            let idx = ALL_OP_CLASSES
+                .iter()
+                .position(|&c| c == inst.op)
+                .expect("known class");
             stats.per_class[idx] += 1;
             if inst.is_mispredicted_branch() {
                 stats.mispredicted_branches += 1;
@@ -134,7 +143,10 @@ impl TraceStats {
     /// Count of instructions of class `op`.
     #[inline]
     pub fn count(&self, op: OpClass) -> u64 {
-        let idx = ALL_OP_CLASSES.iter().position(|&c| c == op).expect("known class");
+        let idx = ALL_OP_CLASSES
+            .iter()
+            .position(|&c| c == op)
+            .expect("known class");
         self.per_class[idx]
     }
 
@@ -188,7 +200,12 @@ pub struct Chain<A, B> {
 impl<A: InstStream, B: InstStream> Chain<A, B> {
     /// Chains `first` then `second`.
     pub fn new(first: A, second: B) -> Self {
-        Chain { first, second, in_second: false, next_seq: 0 }
+        Chain {
+            first,
+            second,
+            in_second: false,
+            next_seq: 0,
+        }
     }
 }
 
@@ -236,7 +253,12 @@ pub struct Interleave<A, B> {
 impl<A: InstStream, B: InstStream> Interleave<A, B> {
     /// Interleaves `a` and `b`, starting with `a`.
     pub fn new(a: A, b: B) -> Self {
-        Interleave { a, b, take_from_a: true, next_seq: 0 }
+        Interleave {
+            a,
+            b,
+            take_from_a: true,
+            next_seq: 0,
+        }
     }
 }
 
@@ -276,7 +298,11 @@ pub struct Take<S> {
 impl<S: InstStream> Take<S> {
     /// Takes at most `limit` instructions from `inner`.
     pub fn new(inner: S, limit: u64) -> Self {
-        Take { inner, limit, taken: 0 }
+        Take {
+            inner,
+            limit,
+            taken: 0,
+        }
     }
 }
 
@@ -308,7 +334,12 @@ mod tests {
 
     fn tiny_trace() -> TraceProgram {
         let insts = vec![
-            Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(2)).finish(),
+            Inst::build(OpClass::IntAlu)
+                .seq(0)
+                .pc(0)
+                .dest(Reg::int(1))
+                .src0(Reg::int(2))
+                .finish(),
             Inst::build(OpClass::Load)
                 .seq(1)
                 .pc(4)
@@ -326,7 +357,11 @@ mod tests {
                 .seq(3)
                 .pc(12)
                 .src0(Reg::int(1))
-                .branch(BranchInfo { taken: true, mispredicted: true, target: 0 })
+                .branch(BranchInfo {
+                    taken: true,
+                    mispredicted: true,
+                    target: 0,
+                })
                 .finish(),
             Inst::build(OpClass::Trap).seq(4).pc(16).finish(),
         ];
@@ -373,8 +408,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dense")]
     fn non_dense_sequence_numbers_panic() {
-        let insts =
-            vec![Inst::build(OpClass::IntAlu).seq(1).dest(Reg::int(1)).finish()];
+        let insts = vec![Inst::build(OpClass::IntAlu)
+            .seq(1)
+            .dest(Reg::int(1))
+            .finish()];
         let _ = TraceProgram::new(insts);
     }
 

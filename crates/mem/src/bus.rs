@@ -30,7 +30,12 @@ impl Default for Bus {
 impl Bus {
     /// An idle bus.
     pub fn new() -> Self {
-        Bus { busy_until: 0, busy_beats: 0, contended_requests: 0, wait_cycles: 0 }
+        Bus {
+            busy_until: 0,
+            busy_beats: 0,
+            contended_requests: 0,
+            wait_cycles: 0,
+        }
     }
 
     /// Cycle at which the bus next becomes free.

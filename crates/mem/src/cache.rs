@@ -94,7 +94,13 @@ struct Way {
     lru: u32,
 }
 
-const INVALID_WAY: Way = Way { tag: 0, valid: false, dirty: false, prefetched: false, lru: u32::MAX };
+const INVALID_WAY: Way = Way {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    prefetched: false,
+    lru: u32::MAX,
+};
 
 /// A set-associative cache (tags + LRU + dirty bits; no data — data lives
 /// in the functional model).
@@ -123,7 +129,12 @@ impl Cache {
     /// An empty cache with the given geometry and write policy.
     pub fn new(cfg: CacheConfig, policy: WritePolicy) -> Self {
         let n = (cfg.num_lines()) as usize;
-        Cache { cfg, policy, ways: vec![INVALID_WAY; n], stats: CacheStats::default() }
+        Cache {
+            cfg,
+            policy,
+            ways: vec![INVALID_WAY; n],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache's configuration.
@@ -153,7 +164,9 @@ impl Cache {
         let tag = self.cfg.tag(addr);
         let assoc = self.cfg.assoc as usize;
         let base = set as usize * assoc;
-        self.ways[base..base + assoc].iter().any(|w| w.valid && w.tag == tag)
+        self.ways[base..base + assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 
     /// True if `addr`'s line is present *and dirty*.
@@ -162,7 +175,9 @@ impl Cache {
         let tag = self.cfg.tag(addr);
         let assoc = self.cfg.assoc as usize;
         let base = set as usize * assoc;
-        self.ways[base..base + assoc].iter().any(|w| w.valid && w.tag == tag && w.dirty)
+        self.ways[base..base + assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag && w.dirty)
     }
 
     /// Performs an access, allocating on miss (write-allocate for both
@@ -216,10 +231,7 @@ impl Cache {
             AccessKind::Read => read_miss = 1,
             AccessKind::Write => write_miss = 1,
         }
-        let victim = ways
-            .iter_mut()
-            .max_by_key(|w| w.lru)
-            .expect("assoc >= 1");
+        let victim = ways.iter_mut().max_by_key(|w| w.lru).expect("assoc >= 1");
         let evicted = victim.valid.then(|| victim.tag * num_sets + set);
         let evicted_dirty = victim.valid && victim.dirty;
         victim.tag = tag;
@@ -261,7 +273,13 @@ impl Cache {
         // are not displaced by speculative ones.
         let victim = ways.iter_mut().max_by_key(|w| w.lru).expect("assoc >= 1");
         let evicted = victim.valid.then(|| victim.tag * num_sets + set);
-        *victim = Way { tag, valid: true, dirty: false, prefetched: true, lru: 1 };
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty: false,
+            prefetched: true,
+            lru: 1,
+        };
         evicted
     }
 
@@ -271,7 +289,10 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let set = self.cfg.set_index(addr);
         let tag = self.cfg.tag(addr);
-        let w = self.set_slice(set).iter_mut().find(|w| w.valid && w.tag == tag)?;
+        let w = self
+            .set_slice(set)
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)?;
         let was_dirty = w.dirty;
         *w = INVALID_WAY;
         Some(was_dirty)
@@ -300,8 +321,13 @@ mod tests {
 
     fn tiny(policy: WritePolicy) -> Cache {
         // 4 sets × 2 ways × 64-byte lines = 512 bytes.
-        let cfg =
-            CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, hit_latency: 1, mshrs: 4 };
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            mshrs: 4,
+        };
         Cache::new(cfg, policy)
     }
 

@@ -20,7 +20,13 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table I L1: 32 KB, 2-way, 64-byte lines, 2-cycle access, 10 MSHRs.
     pub fn l1_table1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, hit_latency: 2, mshrs: 10 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+            mshrs: 10,
+        }
     }
 
     /// Table I shared L2: 4 MB, 8-way, 64-byte lines, 20-cycle access,
@@ -51,7 +57,10 @@ impl CacheConfig {
             set_bytes
         );
         let sets = self.size_bytes / set_bytes;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         sets
     }
 
@@ -95,12 +104,22 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// Table I I-TLB: 48 entries, 2-way.
     pub fn itlb_table1() -> Self {
-        TlbConfig { entries: 48, assoc: 2, page_bytes: 8192, walk_latency: 30 }
+        TlbConfig {
+            entries: 48,
+            assoc: 2,
+            page_bytes: 8192,
+            walk_latency: 30,
+        }
     }
 
     /// Table I D-TLB: 64 entries, 2-way.
     pub fn dtlb_table1() -> Self {
-        TlbConfig { entries: 64, assoc: 2, page_bytes: 8192, walk_latency: 30 }
+        TlbConfig {
+            entries: 64,
+            assoc: 2,
+            page_bytes: 8192,
+            walk_latency: 30,
+        }
     }
 }
 
@@ -205,7 +224,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn bad_geometry_panics() {
-        let c = CacheConfig { size_bytes: 1000, assoc: 3, line_bytes: 64, hit_latency: 1, mshrs: 1 };
+        let c = CacheConfig {
+            size_bytes: 1000,
+            assoc: 3,
+            line_bytes: 64,
+            hit_latency: 1,
+            mshrs: 1,
+        };
         let _ = c.num_sets();
     }
 }

@@ -109,7 +109,13 @@ impl MemSystem {
     /// L2 round trip for a line miss observed at `cycle`: bus request,
     /// L2 lookup (DRAM fill on L2 miss), line transfer back. Returns
     /// `(ready_cycle, l2_hit)`.
-    fn l2_round_trip(&mut self, core: usize, addr: u64, cycle: u64, kind: AccessKind) -> (u64, bool) {
+    fn l2_round_trip(
+        &mut self,
+        core: usize,
+        addr: u64,
+        cycle: u64,
+        kind: AccessKind,
+    ) -> (u64, bool) {
         let beats = self.cfg.line_transfer_beats();
         // Deterministic fill jitter: DRAM bank/refresh/arbitration
         // variability, different per core — the source of redundant-pair
@@ -119,9 +125,10 @@ impl MemSystem {
         } else {
             self.cores[core].fill_count += 1;
             let h = splitmix64(
-                (core as u64 + 1)
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    ^ self.cores[core].fill_count.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                (core as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ self.cores[core]
+                        .fill_count
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
                     ^ addr,
             );
             h % self.cfg.fill_jitter as u64
@@ -134,7 +141,9 @@ impl MemSystem {
         let fill_done = if resp.hit {
             start + self.cfg.l2.hit_latency as u64
         } else {
-            self.l2_mshrs.track(line, start, self.cfg.dram_latency as u64).ready_cycle()
+            self.l2_mshrs
+                .track(line, start, self.cfg.dram_latency as u64)
+                .ready_cycle()
         };
         // Dirty L2 victim: model its writeback as extra bus occupancy.
         if resp.evicted_dirty {
@@ -154,7 +163,13 @@ impl MemSystem {
         self.data_access(core, addr, cycle, AccessKind::Write)
     }
 
-    fn data_access(&mut self, core: usize, addr: u64, cycle: u64, kind: AccessKind) -> AccessOutcome {
+    fn data_access(
+        &mut self,
+        core: usize,
+        addr: u64,
+        cycle: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         let walk = self.cores[core].dtlb.translate(addr);
         let t = cycle + walk as u64;
         let resp = self.cores[core].l1d.access(addr, kind);
@@ -214,13 +229,18 @@ impl MemSystem {
         let next_line_addr = addr + self.cfg.l1d.line_bytes as u64;
         let next_line = self.cfg.l1d.line_addr(next_line_addr);
         if self.cores[core].l1d.probe(next_line_addr)
-            || self.cores[core].l1d_mshrs.pending_ready(next_line, issue_at).is_some()
+            || self.cores[core]
+                .l1d_mshrs
+                .pending_ready(next_line, issue_at)
+                .is_some()
         {
             return;
         }
         let (pf_ready, _) = self.l2_round_trip(core, next_line_addr, bus_at, AccessKind::Read);
         self.cores[core].l1d.install(next_line_addr);
-        self.cores[core].l1d_mshrs.track(next_line, issue_at, pf_ready - issue_at);
+        self.cores[core]
+            .l1d_mshrs
+            .track(next_line, issue_at, pf_ready - issue_at);
     }
 
     /// An instruction fetch by `core` at `cycle` (read-only path).

@@ -89,21 +89,36 @@ impl MshrFile {
         self.retire(cycle);
         if let Some(e) = self.entries.iter().find(|e| e.line_addr == line_addr) {
             self.coalesced += 1;
-            return MshrOutcome::Coalesced { ready_cycle: e.ready_cycle };
+            return MshrOutcome::Coalesced {
+                ready_cycle: e.ready_cycle,
+            };
         }
         if self.entries.len() < self.capacity {
             let ready_cycle = cycle + fill_latency;
-            self.entries.push(Entry { line_addr, ready_cycle });
+            self.entries.push(Entry {
+                line_addr,
+                ready_cycle,
+            });
             return MshrOutcome::Allocated { ready_cycle };
         }
         // Full: wait for the earliest completion, then allocate.
         self.full_stalls += 1;
-        let freed_at =
-            self.entries.iter().map(|e| e.ready_cycle).min().expect("file is non-empty");
+        let freed_at = self
+            .entries
+            .iter()
+            .map(|e| e.ready_cycle)
+            .min()
+            .expect("file is non-empty");
         self.retire(freed_at);
         let ready_cycle = freed_at + fill_latency;
-        self.entries.push(Entry { line_addr, ready_cycle });
-        MshrOutcome::Stalled { freed_at, ready_cycle }
+        self.entries.push(Entry {
+            line_addr,
+            ready_cycle,
+        });
+        MshrOutcome::Stalled {
+            freed_at,
+            ready_cycle,
+        }
     }
 
     /// Number of currently outstanding misses (after retiring at `cycle`).
@@ -118,7 +133,10 @@ impl MshrFile {
     /// still wait for the data to arrive.
     pub fn pending_ready(&mut self, line_addr: u64, cycle: u64) -> Option<u64> {
         self.retire(cycle);
-        self.entries.iter().find(|e| e.line_addr == line_addr).map(|e| e.ready_cycle)
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.ready_cycle)
     }
 }
 
@@ -129,10 +147,19 @@ mod tests {
     #[test]
     fn allocates_until_full_then_stalls() {
         let mut m = MshrFile::new(2);
-        assert!(matches!(m.track(1, 0, 100), MshrOutcome::Allocated { ready_cycle: 100 }));
-        assert!(matches!(m.track(2, 0, 100), MshrOutcome::Allocated { ready_cycle: 100 }));
+        assert!(matches!(
+            m.track(1, 0, 100),
+            MshrOutcome::Allocated { ready_cycle: 100 }
+        ));
+        assert!(matches!(
+            m.track(2, 0, 100),
+            MshrOutcome::Allocated { ready_cycle: 100 }
+        ));
         match m.track(3, 0, 100) {
-            MshrOutcome::Stalled { freed_at, ready_cycle } => {
+            MshrOutcome::Stalled {
+                freed_at,
+                ready_cycle,
+            } => {
                 assert_eq!(freed_at, 100);
                 assert_eq!(ready_cycle, 200);
             }

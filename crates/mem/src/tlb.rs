@@ -16,7 +16,11 @@ struct TlbWay {
     lru: u32,
 }
 
-const INVALID: TlbWay = TlbWay { vpn: 0, valid: false, lru: u32::MAX };
+const INVALID: TlbWay = TlbWay {
+    vpn: 0,
+    valid: false,
+    lru: u32::MAX,
+};
 
 /// A set-associative TLB.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,7 +43,13 @@ impl Tlb {
         assert!(cfg.assoc > 0 && cfg.entries > 0);
         assert_eq!(cfg.entries % cfg.assoc, 0, "entries must divide into ways");
         let sets = (cfg.entries / cfg.assoc) as u64;
-        Tlb { cfg, sets, ways: vec![INVALID; cfg.entries as usize], accesses: 0, misses: 0 }
+        Tlb {
+            cfg,
+            sets,
+            ways: vec![INVALID; cfg.entries as usize],
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Sets are modulo-indexed because the Table I I-TLB (48 entries,
@@ -68,7 +78,11 @@ impl Tlb {
         }
         self.misses += 1;
         let victim = ways.iter_mut().max_by_key(|w| w.lru).expect("assoc >= 1");
-        *victim = TlbWay { vpn, valid: true, lru: 0 };
+        *victim = TlbWay {
+            vpn,
+            valid: true,
+            lru: 0,
+        };
         self.cfg.walk_latency
     }
 

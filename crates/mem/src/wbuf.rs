@@ -35,7 +35,11 @@ impl WriteBuffer {
     /// A buffer holding up to `capacity` writes.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "write buffer capacity must be positive");
-        WriteBuffer { capacity, entries: VecDeque::with_capacity(capacity), full_events: 0 }
+        WriteBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            full_events: 0,
+        }
     }
 
     /// Capacity in entries.
@@ -96,7 +100,11 @@ mod tests {
     use super::*;
 
     fn w(seq: u64) -> BufferedWrite {
-        BufferedWrite { line_addr: seq * 64, seq, enqueued_at: seq }
+        BufferedWrite {
+            line_addr: seq * 64,
+            seq,
+            enqueued_at: seq,
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ struct RefCache {
 
 impl RefCache {
     fn new(cfg: CacheConfig) -> Self {
-        RefCache { sets: vec![Vec::new(); cfg.num_sets() as usize], cfg }
+        RefCache {
+            sets: vec![Vec::new(); cfg.num_sets() as usize],
+            cfg,
+        }
     }
 
     /// Returns (hit, evicted line address).
@@ -40,7 +43,13 @@ impl RefCache {
 fn tiny_cfg() -> CacheConfig {
     // 8 sets × 2 ways × 64-byte lines: small enough that random addresses
     // collide constantly.
-    CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, hit_latency: 1, mshrs: 4 }
+    CacheConfig {
+        size_bytes: 1024,
+        assoc: 2,
+        line_bytes: 64,
+        hit_latency: 1,
+        mshrs: 4,
+    }
 }
 
 proptest! {

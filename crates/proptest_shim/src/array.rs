@@ -1,0 +1,48 @@
+//! Fixed-size array strategies (`proptest::array::uniform8` etc.).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; N]` with every element drawn from one inner
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// `[T; N]` strategy from one element strategy.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray { element }
+}
+
+macro_rules! uniform_n {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Fixed-arity convenience wrapper matching the real crate.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            uniform(element)
+        }
+    )*};
+}
+
+uniform_n!(uniform2 => 2, uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn uniform8_yields_eight_elements() {
+        let mut rng = TestRng::new(5);
+        let a = uniform8(any::<u64>()).generate(&mut rng);
+        assert_eq!(a.len(), 8);
+    }
+}

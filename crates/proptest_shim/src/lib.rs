@@ -1,0 +1,152 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate
+//! reimplements the subset of proptest's API the workspace's property
+//! tests actually use: range / `any` / tuple / `prop_map` / collection
+//! strategies, `sample::Index`, `ProptestConfig { cases, .. }`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   in the panic message instead of a minimized counterexample.
+//! * **Fixed seeding.** Each `proptest!` test derives its RNG seed from
+//!   the test's name via FNV-1a, so runs are bit-reproducible across
+//!   platforms and invocations — which this repository values more than
+//!   fresh entropy (see `DESIGN.md` on deterministic replay).
+//! * Only the strategy combinators listed above exist.
+
+#![forbid(unsafe_code)]
+
+pub mod array;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+pub use test_runner::{ProptestConfig, Reject, TestRng};
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Entry point: expands a block of property tests into plain `#[test]`
+/// functions that loop over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: munches one `fn` at a time out of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __cases_run: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __cases_run < __cfg.cases {
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    $crate::__proptest_bind!((&mut __rng) ($($params)*) $body);
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __cases_run += 1,
+                    ::std::result::Result::Err(_) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < __cfg.cases.saturating_mul(64).max(1024),
+                            "prop_assume! rejected too many cases ({__rejects})"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: turns a `proptest!` parameter list into nested generator
+/// bindings around the test body, inside a closure returning
+/// `Result<(), Reject>` so `prop_assume!` can bail out of one case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (($rng:expr) ($($params:tt)*) $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::Reject> {
+            $crate::__proptest_let!(($rng) ($($params)*));
+            { $body }
+            ::std::result::Result::Ok(())
+        })()
+    };
+}
+
+/// Internal: one `let` per parameter, in declaration order.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_let {
+    (($rng:expr) ()) => {};
+    (($rng:expr) ($p:pat in $s:expr)) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), $rng);
+    };
+    (($rng:expr) ($p:pat in $s:expr, $($rest:tt)*)) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), $rng);
+        $crate::__proptest_let!(($rng) ($($rest)*));
+    };
+    (($rng:expr) ($i:ident : $t:ty)) => {
+        let $i: $t = $crate::strategy::Strategy::generate(&$crate::strategy::any::<$t>(), $rng);
+    };
+    (($rng:expr) ($i:ident : $t:ty, $($rest:tt)*)) => {
+        let $i: $t = $crate::strategy::Strategy::generate(&$crate::strategy::any::<$t>(), $rng);
+        $crate::__proptest_let!(($rng) ($($rest)*));
+    };
+}
+
+/// `prop_assert!`: like `assert!` (no shrinking, so failures panic
+/// directly with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!`: discards the current case (it is regenerated and not
+/// counted) when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}

@@ -1,0 +1,66 @@
+//! Sampling helpers (`prop::sample::Index`, `prop::sample::select`).
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto `[0, len)`; `len` must be positive.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+/// A strategy drawing uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + core::fmt::Debug>(Vec<T>);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}
+
+/// Selects uniformly among `values`.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn select<T: Clone + core::fmt::Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select() needs at least one value");
+    Select(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_only_from_the_set() {
+        let s = select(vec![3u64, 5, 9]);
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            assert!([3, 5, 9].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn index_projects_into_bounds() {
+        let mut rng = TestRng::new(6);
+        for len in [1usize, 2, 3, 100] {
+            let i = Index::arbitrary(&mut rng);
+            assert!(i.index(len) < len);
+        }
+    }
+}

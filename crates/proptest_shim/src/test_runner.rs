@@ -1,0 +1,119 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Marker returned by `prop_assume!` to discard the current case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reject;
+
+/// Per-`proptest!` block configuration. Only `cases` is consulted; the
+/// other fields exist so `..ProptestConfig::default()` struct-update
+/// spelling from the real crate keeps compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Unused; kept for source compatibility.
+    pub max_shrink_iters: u32,
+    /// Unused; kept for source compatibility.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// SplitMix64 — the same generator the workload layer uses, duplicated
+/// here so the shim stays dependency-free (it sits *below* every other
+/// workspace crate).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A stream seeded directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: splitmix64(seed ^ 0x243f_6a88_85a3_08d3),
+        }
+    }
+
+    /// A stream seeded from a test's name (FNV-1a), optionally perturbed
+    /// by `PROPTEST_SEED` in the environment for exploratory runs.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = v.trim().parse::<u64>() {
+                h ^= splitmix64(s);
+            }
+        }
+        Self::new(h)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn name_seeding_separates_tests() {
+        assert_ne!(
+            TestRng::from_name("alpha").next_u64(),
+            TestRng::from_name("beta").next_u64()
+        );
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -139,8 +139,7 @@ impl CoreHooks for CheckpointHooks {
         if self.in_interval >= self.cfg.interval || inst.op.is_serializing() {
             // Close the checkpoint: snapshot + fingerprint round trip;
             // verified stores drain afterwards.
-            let verify =
-                cycle + self.cfg.snapshot_cost as u64 + self.cfg.comparison_latency as u64;
+            let verify = cycle + self.cfg.snapshot_cost as u64 + self.cfg.comparison_latency as u64;
             for line in self.pending_stores.drain(..) {
                 mem.drain_write(self.core, line, verify);
             }
@@ -175,7 +174,10 @@ mod tests {
 
     #[test]
     fn checkpoints_fire_every_interval() {
-        let cfg = CheckpointConfig { interval: 1_000, ..Default::default() };
+        let cfg = CheckpointConfig {
+            interval: 1_000,
+            ..Default::default()
+        };
         let mut hooks = CheckpointHooks::new(cfg);
         let mut s = WorkloadGen::new(Benchmark::Sha, 10_000, 1);
         let _ = run_stream(
@@ -192,7 +194,10 @@ mod tests {
 
     #[test]
     fn stores_drain_only_after_verification() {
-        let cfg = CheckpointConfig { interval: 100, ..Default::default() };
+        let cfg = CheckpointConfig {
+            interval: 100,
+            ..Default::default()
+        };
         let mut hooks = CheckpointHooks::new(cfg);
         let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
         let mut engine = unsync_sim::OooEngine::new(CoreConfig::table1(), 0);
@@ -209,22 +214,34 @@ mod tests {
         // of detection latency). Compare on a serializing-light workload.
         let base = {
             let mut s = WorkloadGen::new(Benchmark::Sha, 30_000, 1);
-            unsync_sim::run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle
+            unsync_sim::run_baseline(CoreConfig::table1(), &mut s)
+                .core
+                .last_commit_cycle
         };
         let ckpt = {
             let mut s = WorkloadGen::new(Benchmark::Sha, 30_000, 1);
             let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
-            run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough)
-                .core
-                .last_commit_cycle
+            run_stream(
+                CoreConfig::table1(),
+                &mut s,
+                &mut hooks,
+                WritePolicy::WriteThrough,
+            )
+            .core
+            .last_commit_cycle
         };
         let reunion = {
             let mut s = WorkloadGen::new(Benchmark::Sha, 30_000, 1);
             let mut hooks =
                 crate::hooks::ReunionHooks::new(crate::config::ReunionConfig::paper_baseline());
-            run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough)
-                .core
-                .last_commit_cycle
+            run_stream(
+                CoreConfig::table1(),
+                &mut s,
+                &mut hooks,
+                WritePolicy::WriteThrough,
+            )
+            .core
+            .last_commit_cycle
         };
         let ckpt_ovh = ckpt as f64 / base as f64 - 1.0;
         let reunion_ovh = reunion as f64 / base as f64 - 1.0;
@@ -236,8 +253,14 @@ mod tests {
 
     #[test]
     fn expected_rollback_grows_with_interval() {
-        let small = CheckpointConfig { interval: 100, ..Default::default() };
-        let large = CheckpointConfig { interval: 10_000, ..Default::default() };
+        let small = CheckpointConfig {
+            interval: 100,
+            ..Default::default()
+        };
+        let large = CheckpointConfig {
+            interval: 10_000,
+            ..Default::default()
+        };
         assert!(large.expected_rollback_insts() > small.expected_rollback_insts());
         assert!(checkpoint_error_cost(&large, 2.0) > checkpoint_error_cost(&small, 2.0));
     }
@@ -245,6 +268,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "interval must be")]
     fn zero_interval_rejected() {
-        let _ = CheckpointHooks::new(CheckpointConfig { interval: 0, ..Default::default() });
+        let _ = CheckpointHooks::new(CheckpointConfig {
+            interval: 0,
+            ..Default::default()
+        });
     }
 }

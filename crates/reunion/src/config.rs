@@ -46,7 +46,10 @@ impl ReunionConfig {
     /// 17 entries: the open interval plus a 7-entry margin covering the
     /// interval whose comparison is still in flight).
     pub fn for_fi(fingerprint_interval: u32, comparison_latency: u32) -> Self {
-        assert!(fingerprint_interval >= 1, "fingerprint interval must be ≥ 1");
+        assert!(
+            fingerprint_interval >= 1,
+            "fingerprint interval must be ≥ 1"
+        );
         ReunionConfig {
             fingerprint_interval,
             comparison_latency,

@@ -116,7 +116,11 @@ impl ReunionHooks {
     }
 
     fn retire_csb(&mut self, cycle: u64) {
-        while self.csb.front().is_some_and(|e| e.verify.is_some_and(|v| v <= cycle)) {
+        while self
+            .csb
+            .front()
+            .is_some_and(|e| e.verify.is_some_and(|v| v <= cycle))
+        {
             self.csb.pop_front();
         }
     }
@@ -301,7 +305,11 @@ mod tests {
         for i in 1..4 {
             e.feed(&alu(i), &mut m, &mut h);
         }
-        assert_eq!(m.l2_stats().writes, 1, "verified interval released the store");
+        assert_eq!(
+            m.l2_stats().writes,
+            1,
+            "verified interval released the store"
+        );
     }
 
     #[test]
@@ -347,12 +355,15 @@ mod tests {
         let cfg = CoreConfig::table1();
         let mut base_stream = WorkloadGen::new(Benchmark::Bzip2, 20_000, 7);
         let mut base_hooks = BaselineHooks::default();
-        let base =
-            run_stream(cfg, &mut base_stream, &mut base_hooks, WritePolicy::WriteThrough);
+        let base = run_stream(
+            cfg,
+            &mut base_stream,
+            &mut base_hooks,
+            WritePolicy::WriteThrough,
+        );
         let mut reunion_stream = WorkloadGen::new(Benchmark::Bzip2, 20_000, 7);
         let mut rh = ReunionHooks::new(ReunionConfig::paper_baseline());
-        let reunion =
-            run_stream(cfg, &mut reunion_stream, &mut rh, WritePolicy::WriteThrough);
+        let reunion = run_stream(cfg, &mut reunion_stream, &mut rh, WritePolicy::WriteThrough);
         let overhead = reunion.core.overhead_vs(&base.core);
         assert!(overhead > 0.01, "Reunion overhead on bzip2 = {overhead}");
         assert!(overhead < 1.0, "Reunion overhead on bzip2 = {overhead}");

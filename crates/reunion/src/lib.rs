@@ -35,13 +35,13 @@
 
 pub mod checkpoint;
 pub mod config;
-pub mod lockstep;
 pub mod hooks;
+pub mod lockstep;
 pub mod pair;
 
 pub use checkpoint::{checkpoint_error_cost, CheckpointConfig, CheckpointHooks};
 pub use config::ReunionConfig;
-pub use lockstep::{LockstepOutcome, LockstepPair};
 pub use hooks::ReunionHooks;
+pub use lockstep::{LockstepOutcome, LockstepPair};
 pub use pair::{PairOutcome, ReunionPair};
 pub use unsync_fault::PairFault;

@@ -108,10 +108,11 @@ mod tests {
         let t = WorkloadGen::new(Benchmark::Qsort, 10_000, 2).collect_trace();
         let locked = LockstepPair::new(CoreConfig::table1()).run(&t);
         let free = {
-            let mut mem =
-                MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
-            let mut engines =
-                [OooEngine::new(CoreConfig::table1(), 0), OooEngine::new(CoreConfig::table1(), 1)];
+            let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
+            let mut engines = [
+                OooEngine::new(CoreConfig::table1(), 0),
+                OooEngine::new(CoreConfig::table1(), 1),
+            ];
             let mut hooks = [NullHooks, NullHooks];
             for inst in t.insts() {
                 for core in 0..2 {

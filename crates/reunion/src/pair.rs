@@ -116,7 +116,10 @@ impl ReunionPair {
     /// Runs `trace` to completion with the given faults (empty slice =
     /// error-free execution). Faults must be sorted by `at`.
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> PairOutcome {
-        assert!(faults.windows(2).all(|w| w[0].at <= w[1].at), "faults must be sorted");
+        assert!(
+            faults.windows(2).all(|w| w[0].at <= w[1].at),
+            "faults must be sorted"
+        );
         let (_, golden_mem) = golden_run(trace);
 
         let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
@@ -232,8 +235,8 @@ impl ReunionPair {
                 // Rollback: squash, restore the interval-start snapshot,
                 // re-execute.
                 out.rollbacks += 1;
-                let now = engines[0].now().max(engines[1].now())
-                    + self.rcfg.rollback_penalty as u64;
+                let now =
+                    engines[0].now().max(engines[1].now()) + self.rcfg.rollback_penalty as u64;
                 for core in 0..2 {
                     engines[core].flush_pipeline(now);
                     arch[core].copy_from(&snapshot[core]);
@@ -245,8 +248,20 @@ impl ReunionPair {
         out.cycles = engines[0].now().max(engines[1].now());
         // Verify against the golden image: every word the golden run wrote
         // must match the pair's committed memory.
-        out.memory_matches_golden =
-            golden_mem.iter().all(|(addr, val)| committed_mem.read(addr) == val);
+        out.memory_matches_golden = golden_mem
+            .iter()
+            .all(|(addr, val)| committed_mem.read(addr) == val);
+
+        // Publish run aggregates once per pair run (never per
+        // instruction — the interval loop is the hot path).
+        let m = unsync_sim::metrics::global();
+        m.counter("reunion_pair.runs").inc();
+        m.counter("reunion_pair.instructions").add(out.committed);
+        m.counter("reunion_pair.cycles").add(out.cycles);
+        m.counter("reunion_pair.mismatches").add(out.mismatches);
+        m.counter("reunion_pair.rollbacks").add(out.rollbacks);
+        m.counter("reunion_pair.incoherent_loads")
+            .add(out.incoherent_loads);
         out
     }
 
@@ -266,8 +281,10 @@ impl ReunionPair {
         first_attempt: bool,
         out: &mut PairOutcome,
     ) -> u64 {
-        let fault =
-            faults.iter().find(|f| f.at == seq && f.core == core).map(|f| f.site);
+        let fault = faults
+            .iter()
+            .find(|f| f.at == seq && f.core == core)
+            .map(|f| f.site);
 
         // Pre-execution persistent-state faults.
         if let Some(site) = fault {
@@ -357,7 +374,10 @@ impl ReunionPair {
                 }
                 None => pending.push((
                     seq,
-                    PendingStore { addr: [addr & !7; 2], value: [result; 2] },
+                    PendingStore {
+                        addr: [addr & !7; 2],
+                        value: [result; 2],
+                    },
                 )),
             }
         }
@@ -385,7 +405,10 @@ mod tests {
     }
 
     fn site(target: FaultTarget, bit: u64) -> unsync_fault::FaultSite {
-        unsync_fault::FaultSite { target, bit_offset: bit }
+        unsync_fault::FaultSite {
+            target,
+            bit_offset: bit,
+        }
     }
 
     #[test]
@@ -402,8 +425,12 @@ mod tests {
     #[test]
     fn pipeline_fault_is_caught_and_rolled_back() {
         let t = trace(2_000, 2);
-        let faults =
-            [PairFault { at: 500, core: 0, site: site(FaultTarget::Rob, 17), kind: unsync_fault::FaultKind::Single }];
+        let faults = [PairFault {
+            at: 500,
+            core: 0,
+            site: site(FaultTarget::Rob, 17),
+            kind: unsync_fault::FaultKind::Single,
+        }];
         let out = pair().run(&t, &faults);
         assert_eq!(out.mismatches, 1);
         assert_eq!(out.rollbacks, 1);
@@ -429,8 +456,12 @@ mod tests {
             })
             .collect();
         let t = TraceProgram::new(insts);
-        let faults =
-            [PairFault { at: 5, core: 1, site: site(FaultTarget::RegisterFile, 64 + 3), kind: unsync_fault::FaultKind::Single }]; // r1
+        let faults = [PairFault {
+            at: 5,
+            core: 1,
+            site: site(FaultTarget::RegisterFile, 64 + 3),
+            kind: unsync_fault::FaultKind::Single,
+        }]; // r1
         let out = pair().run(&t, &faults);
         assert_eq!(out.mismatches, 1);
         assert_eq!(out.rollbacks, 1);
@@ -448,7 +479,12 @@ mod tests {
         let mut insts: Vec<Inst> = Vec::new();
         // Interval 0 (seq 0..10): r1 written at seq 0, then left alone.
         insts.push(
-            Inst::build(OpClass::IntAlu).seq(0).pc(0).dest(Reg::int(1)).src0(Reg::int(20)).finish(),
+            Inst::build(OpClass::IntAlu)
+                .seq(0)
+                .pc(0)
+                .dest(Reg::int(1))
+                .src0(Reg::int(20))
+                .finish(),
         );
         for i in 1..10u64 {
             insts.push(
@@ -473,8 +509,12 @@ mod tests {
         }
         let t = TraceProgram::new(insts);
         // Strike r1 at seq 5 — inside interval 0, which never reads it.
-        let faults =
-            [PairFault { at: 5, core: 1, site: site(FaultTarget::RegisterFile, 64 + 3), kind: unsync_fault::FaultKind::Single }];
+        let faults = [PairFault {
+            at: 5,
+            core: 1,
+            site: site(FaultTarget::RegisterFile, 64 + 3),
+            kind: unsync_fault::FaultKind::Single,
+        }];
         let out = pair().run(&t, &faults);
         assert!(out.mismatches > 1, "{out:?}");
         assert_eq!(out.unrecoverable, 1, "{out:?}");
@@ -484,8 +524,12 @@ mod tests {
     #[test]
     fn l1_fault_is_corrected_by_ecc() {
         let t = trace(2_000, 4);
-        let faults =
-            [PairFault { at: 700, core: 0, site: site(FaultTarget::L1Data, 12345), kind: unsync_fault::FaultKind::Single }];
+        let faults = [PairFault {
+            at: 700,
+            core: 0,
+            site: site(FaultTarget::L1Data, 12345),
+            kind: unsync_fault::FaultKind::Single,
+        }];
         let out = pair().run(&t, &faults);
         assert_eq!(out.corrected_in_place, 1);
         assert_eq!(out.mismatches, 0);
@@ -502,12 +546,22 @@ mod tests {
             .find(|i| i.op.is_store() && i.seq > 100)
             .map(|i| i.seq)
             .expect("trace has stores");
-        let faults =
-            [PairFault { at: store_at, core: 0, site: site(FaultTarget::Tlb, 7), kind: unsync_fault::FaultKind::Single }];
+        let faults = [PairFault {
+            at: store_at,
+            core: 0,
+            site: site(FaultTarget::Tlb, 7),
+            kind: unsync_fault::FaultKind::Single,
+        }];
         let out = pair().run(&t, &faults);
         assert_eq!(out.silent_faults, 1);
-        assert_eq!(out.mismatches, 0, "fingerprints never notice a wrong-address store");
-        assert!(!out.memory_matches_golden, "memory image silently corrupted");
+        assert_eq!(
+            out.mismatches, 0,
+            "fingerprints never notice a wrong-address store"
+        );
+        assert!(
+            !out.memory_matches_golden,
+            "memory image silently corrupted"
+        );
     }
 
     #[test]
@@ -523,8 +577,8 @@ mod tests {
         assert_eq!(out.mismatches, out.rollbacks);
         assert!(out.correct(), "{out:?}");
         // And the coherent-by-construction single-thread run pays for it.
-        let clean = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
-            .run(&t, &[]);
+        let clean =
+            ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline()).run(&t, &[]);
         assert!(out.cycles > clean.cycles);
     }
 
@@ -543,14 +597,21 @@ mod tests {
         let faulty = pair().run(&t, &faults);
         assert!(faulty.rollbacks >= 15, "{faulty:?}");
         assert!(faulty.cycles > clean.cycles);
-        assert!(faulty.correct(), "transient pipeline faults are fully recoverable");
+        assert!(
+            faulty.correct(),
+            "transient pipeline faults are fully recoverable"
+        );
     }
 
     #[test]
     fn deterministic_outcomes() {
         let t = trace(1_500, 7);
-        let faults =
-            [PairFault { at: 321, core: 0, site: site(FaultTarget::IssueQueue, 9), kind: unsync_fault::FaultKind::Single }];
+        let faults = [PairFault {
+            at: 321,
+            core: 0,
+            site: site(FaultTarget::IssueQueue, 9),
+            kind: unsync_fault::FaultKind::Single,
+        }];
         assert_eq!(pair().run(&t, &faults), pair().run(&t, &faults));
     }
 }

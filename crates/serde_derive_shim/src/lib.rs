@@ -1,0 +1,22 @@
+//! Inert `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates most model types with serde derives so that
+//! downstream consumers *can* serialize them, but nothing in-tree ever
+//! calls a serializer — run logs are written through the hand-rolled
+//! JSON layer in `unsync-bench`. This crate lets the annotations stay
+//! (and keeps the door open to swapping real serde back in) while
+//! building fully offline: each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

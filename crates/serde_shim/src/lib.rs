@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The simulator annotates its model types with `Serialize` /
+//! `Deserialize` derives, but no in-tree code path serializes through
+//! serde (run logs use `unsync_bench::runlog`'s hand-rolled JSON). The
+//! build environment has no registry access, so this crate supplies the
+//! two names as marker traits plus the inert derive macros from the
+//! sibling `serde_derive` shim. Swapping the real serde back in is a
+//! two-line `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -275,8 +275,11 @@ impl OooEngine {
 
         // ── Issue: functional unit ─────────────────────────────────────
         let pool = &mut self.fu_free[inst.op.fu_kind().index()];
-        let (unit_idx, &unit_free) =
-            pool.iter().enumerate().min_by_key(|&(_, &f)| f).expect("pool non-empty");
+        let (unit_idx, &unit_free) = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("pool non-empty");
         let issue = ready.max(unit_free);
         pool[unit_idx] = if inst.op.is_pipelined() {
             issue + 1
@@ -308,8 +311,9 @@ impl OooEngine {
         };
         if mispredicted {
             self.stats.mispredicts += 1;
-            self.fetch_floor =
-                self.fetch_floor.max(complete + cfg.mispredict_penalty as u64);
+            self.fetch_floor = self
+                .fetch_floor
+                .max(complete + cfg.mispredict_penalty as u64);
         }
 
         // ── Commit: in order, gated, width-limited ─────────────────────
@@ -379,10 +383,19 @@ impl OooEngine {
         hooks.on_commit(inst, commit, mem);
         if inst.op.is_serializing() {
             self.stats.serializing += 1;
-            self.dispatch_floor = self.dispatch_floor.max(hooks.serialize_release(inst, commit));
+            self.dispatch_floor = self
+                .dispatch_floor
+                .max(hooks.serialize_release(inst, commit));
         }
 
-        InstTiming { fetch, dispatch, issue, complete, commit, rob_free }
+        InstTiming {
+            fetch,
+            dispatch,
+            issue,
+            complete,
+            commit,
+            rob_free,
+        }
     }
 
     /// Raises the dispatch floor (used by pair runners to retro-extend a
@@ -506,7 +519,11 @@ mod tests {
             a.drift_stall_cycles, b.drift_stall_cycles,
             "cores must drift differently"
         );
-        assert_eq!(run(0).drift_stall_cycles, a.drift_stall_cycles, "deterministic");
+        assert_eq!(
+            run(0).drift_stall_cycles,
+            a.drift_stall_cycles,
+            "deterministic"
+        );
     }
 
     #[test]
@@ -554,7 +571,11 @@ mod tests {
                     let b = Inst::build(OpClass::Branch)
                         .seq(i)
                         .src0(Reg::int(1))
-                        .branch(BranchInfo { taken: true, mispredicted: mispredict, target: 0 })
+                        .branch(BranchInfo {
+                            taken: true,
+                            mispredicted: mispredict,
+                            target: 0,
+                        })
                         .finish();
                     e.feed(&b, &mut m, &mut h);
                 } else {
@@ -622,7 +643,14 @@ mod tests {
             .finish();
         let t_ld = e.feed(&ld, &mut m, &mut h);
         let rob = e.config().rob_size as u64;
-        let mut last = InstTiming { fetch: 0, dispatch: 0, issue: 0, complete: 0, commit: 0, rob_free: 0 };
+        let mut last = InstTiming {
+            fetch: 0,
+            dispatch: 0,
+            issue: 0,
+            complete: 0,
+            commit: 0,
+            rob_free: 0,
+        };
         for i in 1..(rob + 8) {
             last = e.feed(&alu(i, (i % 8) as u8, 9, 10), &mut m, &mut h);
         }
@@ -747,7 +775,11 @@ mod tests {
             e.feed(&alu(i, (i % 8) as u8, 9, 10), &mut m, &mut h);
         }
         assert_eq!(e.stats().serialize_stall_cycles, 0, "no traps yet");
-        e.feed(&Inst::build(OpClass::Trap).seq(100).finish(), &mut m, &mut h);
+        e.feed(
+            &Inst::build(OpClass::Trap).seq(100).finish(),
+            &mut m,
+            &mut h,
+        );
         for i in 101..140u64 {
             e.feed(&alu(i, (i % 8) as u8, 9, 10), &mut m, &mut h);
         }

@@ -36,6 +36,7 @@
 pub mod config;
 pub mod engine;
 pub mod hooks;
+pub mod metrics;
 pub mod predictor;
 pub mod runner;
 pub mod stats;

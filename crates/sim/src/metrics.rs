@@ -1,0 +1,359 @@
+//! A lightweight, dependency-free metrics registry.
+//!
+//! The experiment harness needs observability into hot paths (how many
+//! simulations ran, how often the baseline cache hit, how much time the
+//! pair loops spent recovering) without paying for it per instruction.
+//! The design follows the usual client-library split:
+//!
+//! * a process-global [`Registry`] maps names to metric slots,
+//! * call sites resolve a [`Counter`] / [`Gauge`] / [`Histogram`] handle
+//!   **once** (an `Arc` around atomics) and then update it lock-free,
+//! * [`Registry::snapshot`] reads everything for run logs and reports.
+//!
+//! Metric names are dot-separated (`runner.baseline_sim_runs`). All
+//! updates use relaxed atomics: metrics are monotonic aggregates, not
+//! synchronization.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point metric.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Upper bounds of the finite buckets, ascending; an implicit
+    /// overflow bucket catches everything above the last bound.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let h = &*self.0;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS on the bit pattern.
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistInner>),
+}
+
+/// A snapshot of one metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram: observation count, sum, and per-bucket
+    /// `(upper_bound, count)` pairs; the final bucket's bound is
+    /// `f64::INFINITY`.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Cumulative-free `(upper_bound, count)` pairs.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// A named collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// An empty registry (tests use private registries; production code
+    /// shares [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolves (creating on first use) the counter `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Counter(c) => Counter(Arc::clone(c)),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match slot {
+            Slot::Gauge(g) => Gauge(Arc::clone(g)),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram `name` with the
+    /// given ascending finite bucket bounds.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind, or if
+    /// `bounds` is empty or unsorted.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots.entry(name.to_string()).or_insert_with(|| {
+            Slot::Histogram(Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }))
+        });
+        match slot {
+            Slot::Histogram(h) => Histogram(Arc::clone(h)),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// All metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        slots
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Slot::Gauge(g) => MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+                    Slot::Histogram(h) => {
+                        let mut buckets: Vec<(f64, u64)> = h
+                            .bounds
+                            .iter()
+                            .zip(&h.buckets)
+                            .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
+                            .collect();
+                        buckets.push((
+                            f64::INFINITY,
+                            h.buckets[h.bounds.len()].load(Ordering::Relaxed),
+                        ));
+                        MetricValue::Histogram {
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                            buckets,
+                        }
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Zeroes every metric (handles stay valid). Intended for tests and
+    /// for binaries that want per-phase deltas.
+    pub fn reset(&self) {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        for slot in slots.values() {
+            match slot {
+                Slot::Counter(c) => c.store(0, Ordering::Relaxed),
+                Slot::Gauge(g) => g.store(0f64.to_bits(), Ordering::Relaxed),
+                Slot::Histogram(h) => {
+                    for b in &h.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
+                    h.count.store(0, Ordering::Relaxed);
+                    h.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// A `name value` per-line text rendering of [`Registry::snapshot`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    out.push_str(&format!("{name} count={count} sum={sum}"));
+                    for (bound, c) in buckets {
+                        if bound.is_finite() {
+                            out.push_str(&format!(" le{bound}={c}"));
+                        } else {
+                            out.push_str(&format!(" inf={c}"));
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-global registry every instrumented layer shares.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.snapshot(), vec![("a.b".into(), MetricValue::Counter(5))]);
+        r.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn handles_alias_the_same_slot() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let r = Registry::new();
+        let g = r.gauge("w");
+        g.set(2.5);
+        g.set(8.0);
+        assert_eq!(g.get(), 8.0);
+    }
+
+    #[test]
+    fn histograms_bucket_observations() {
+        let r = Registry::new();
+        let h = r.histogram("ipc", &[1.0, 2.0]);
+        for v in [0.5, 1.5, 1.7, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 12.7).abs() < 1e-12);
+        match &r.snapshot()[0].1 {
+            MetricValue::Histogram { buckets, .. } => {
+                assert_eq!(buckets[0], (1.0, 1));
+                assert_eq!(buckets[1], (2.0, 2));
+                assert_eq!(buckets[2].1, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("m");
+        r.counter("m");
+    }
+
+    #[test]
+    fn render_lists_every_metric() {
+        let r = Registry::new();
+        r.counter("runs").add(3);
+        r.gauge("workers").set(8.0);
+        let text = r.render();
+        assert!(text.contains("runs 3"));
+        assert!(text.contains("workers 8"));
+    }
+}

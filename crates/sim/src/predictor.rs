@@ -55,7 +55,10 @@ impl Gshare {
     /// correlated across branches.
     pub fn with_history(index_bits: u32, history_bits: u32) -> Self {
         assert!((4..=24).contains(&index_bits), "unreasonable table size");
-        assert!(history_bits <= index_bits, "history cannot exceed the index");
+        assert!(
+            history_bits <= index_bits,
+            "history cannot exceed the index"
+        );
         Gshare {
             index_bits,
             history_bits,
@@ -144,9 +147,11 @@ mod tests {
                 last_mispredicts = p.mispredictions;
             }
         }
-        let warm_rate =
-            (p.mispredictions - last_mispredicts.min(p.mispredictions)) as f64 / 256.0;
-        assert!(warm_rate < 1.0, "alternation should not be pathological: {warm_rate}");
+        let warm_rate = (p.mispredictions - last_mispredicts.min(p.mispredictions)) as f64 / 256.0;
+        assert!(
+            warm_rate < 1.0,
+            "alternation should not be pathological: {warm_rate}"
+        );
         // And the overall rate is far below 50 % (random would be ~50 %).
         assert!(p.mispredict_rate() < 0.3, "{}", p.mispredict_rate());
     }

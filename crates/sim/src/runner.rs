@@ -41,11 +41,28 @@ pub fn run_stream<S: InstStream, H: CoreHooks>(
     while let Some(inst) = stream.next_inst() {
         engine.feed(&inst, &mut mem, hooks);
     }
-    SimResult {
+    let result = SimResult {
         core: *engine.stats(),
         l1d_miss_rate: mem.l1d_stats(0).miss_rate(),
         l2_miss_rate: mem.l2_stats().miss_rate(),
-    }
+    };
+    record_run(&result.core);
+    result
+}
+
+/// Publishes one finished core run's aggregates to the global metrics
+/// registry. Called once per run (not per instruction) so simulation hot
+/// paths pay nothing for observability.
+pub(crate) fn record_run(core: &CoreStats) {
+    let m = crate::metrics::global();
+    m.counter("sim.runs").inc();
+    m.counter("sim.instructions_committed").add(core.committed);
+    m.counter("sim.cycles").add(core.last_commit_cycle);
+    m.counter("sim.recoveries").add(core.recoveries);
+    m.counter("sim.recovery_stall_cycles")
+        .add(core.recovery_stall_cycles);
+    m.histogram("sim.ipc", &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0])
+        .observe(core.ipc());
 }
 
 /// Runs `stream` on the realistic write-through baseline (FIFO write
@@ -63,14 +80,24 @@ mod tests {
 
     #[test]
     fn baseline_runs_every_benchmark_sanely() {
-        for &b in &[Benchmark::Bzip2, Benchmark::Galgel, Benchmark::Mcf, Benchmark::Sha] {
+        for &b in &[
+            Benchmark::Bzip2,
+            Benchmark::Galgel,
+            Benchmark::Mcf,
+            Benchmark::Sha,
+        ] {
             let mut g = WorkloadGen::new(b, 20_000, 1);
             let r = run_baseline(CoreConfig::table1(), &mut g);
             assert_eq!(r.core.committed, 20_000);
             // mcf's 8 MB pointer-chasing working set is legitimately
             // pathological over a cold 20 k-instruction window.
             let floor = if b == Benchmark::Mcf { 0.005 } else { 0.05 };
-            assert!(r.ipc() > floor && r.ipc() < 4.0, "{}: ipc {}", b.name(), r.ipc());
+            assert!(
+                r.ipc() > floor && r.ipc() < 4.0,
+                "{}: ipc {}",
+                b.name(),
+                r.ipc()
+            );
         }
     }
 
@@ -84,14 +111,22 @@ mod tests {
             CoreConfig::table1(),
             &mut WorkloadGen::new(Benchmark::Mcf, 20_000, 2),
         );
-        assert!(sha.ipc() > mcf.ipc(), "sha {} vs mcf {}", sha.ipc(), mcf.ipc());
+        assert!(
+            sha.ipc() > mcf.ipc(),
+            "sha {} vs mcf {}",
+            sha.ipc(),
+            mcf.ipc()
+        );
         assert!(mcf.l1d_miss_rate > sha.l1d_miss_rate);
     }
 
     #[test]
     fn run_is_deterministic() {
         let run = || {
-            run_baseline(CoreConfig::table1(), &mut WorkloadGen::new(Benchmark::Ammp, 10_000, 5))
+            run_baseline(
+                CoreConfig::table1(),
+                &mut WorkloadGen::new(Benchmark::Ammp, 10_000, 5),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -110,7 +110,10 @@ impl CoreStats {
             self.recovery_stall_cycles,
             self.drift_stall_cycles
         ));
-        s.push_str(&format!("  avg ROB occupancy: {:.1}\n", self.avg_rob_occupancy()));
+        s.push_str(&format!(
+            "  avg ROB occupancy: {:.1}\n",
+            self.avg_rob_occupancy()
+        ));
         if self.rob_occupancy_samples > 0 {
             s.push_str("  occupancy distribution (16ths of ROB): ");
             for (i, &c) in self.rob_occupancy_hist.iter().enumerate() {
@@ -143,7 +146,11 @@ mod tests {
 
     #[test]
     fn ipc_and_cpi_are_reciprocal() {
-        let s = CoreStats { committed: 100, last_commit_cycle: 50, ..Default::default() };
+        let s = CoreStats {
+            committed: 100,
+            last_commit_cycle: 50,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.0).abs() < 1e-12);
         assert!((s.cpi() - 0.5).abs() < 1e-12);
     }
@@ -158,7 +165,10 @@ mod tests {
 
     #[test]
     fn saturation_fraction_reads_the_last_bucket() {
-        let mut s = CoreStats { rob_occupancy_samples: 10, ..Default::default() };
+        let mut s = CoreStats {
+            rob_occupancy_samples: 10,
+            ..Default::default()
+        };
         s.rob_occupancy_hist[16] = 4;
         assert!((s.rob_saturation_fraction() - 0.4).abs() < 1e-12);
         assert_eq!(CoreStats::default().rob_saturation_fraction(), 0.0);
@@ -182,8 +192,16 @@ mod tests {
 
     #[test]
     fn overhead_vs_baseline() {
-        let base = CoreStats { committed: 100, last_commit_cycle: 100, ..Default::default() };
-        let slow = CoreStats { committed: 100, last_commit_cycle: 120, ..Default::default() };
+        let base = CoreStats {
+            committed: 100,
+            last_commit_cycle: 100,
+            ..Default::default()
+        };
+        let slow = CoreStats {
+            committed: 100,
+            last_commit_cycle: 120,
+            ..Default::default()
+        };
         assert!((slow.overhead_vs(&base) - 0.2).abs() < 1e-12);
         assert!((base.overhead_vs(&base)).abs() < 1e-12);
     }

@@ -20,8 +20,16 @@ struct InstSpec {
 }
 
 fn arb_spec() -> impl Strategy<Value = InstSpec> {
-    (any::<u8>(), 0u8..31, 0u8..31, 0u8..31, any::<u16>(), any::<bool>(), any::<bool>()).prop_map(
-        |(kind, dest, s0, s1, addr, taken, mispredicted)| InstSpec {
+    (
+        any::<u8>(),
+        0u8..31,
+        0u8..31,
+        0u8..31,
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, dest, s0, s1, addr, taken, mispredicted)| InstSpec {
             kind,
             dest,
             s0,
@@ -29,8 +37,7 @@ fn arb_spec() -> impl Strategy<Value = InstSpec> {
             addr,
             taken,
             mispredicted,
-        },
-    )
+        })
 }
 
 fn build(seq: u64, spec: InstSpec) -> Inst {
@@ -181,8 +188,7 @@ fn stream_replay_reproduces_timing() {
     for &bench in &[Benchmark::Bzip2, Benchmark::Fft] {
         let run = || {
             let mut g = WorkloadGen::new(bench, 5_000, 3);
-            let mut mem =
-                MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
+            let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
             let mut engine = OooEngine::new(CoreConfig::table1(), 0);
             let mut hooks = NullHooks;
             g.reset();

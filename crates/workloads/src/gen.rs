@@ -8,7 +8,6 @@ use unsync_isa::{BranchInfo, Inst, InstStream, MemInfo, OpClass, Reg, TraceProgr
 use crate::profile::{Benchmark, BenchmarkProfile};
 use crate::rng::SplitMixStream;
 
-
 /// Base virtual address of the synthetic data segment.
 const DATA_BASE: u64 = 0x1000_0000;
 /// Base virtual address of the synthetic code segment.
@@ -238,7 +237,10 @@ impl InstStream for WorkloadGen {
         match op {
             OpClass::Load => {
                 let addr = self.pick_addr();
-                b = b.src0(self.pick_addr_src()).dest(self.pick_dest(fp)).mem(MemInfo::dword(addr));
+                b = b
+                    .src0(self.pick_addr_src())
+                    .dest(self.pick_dest(fp))
+                    .mem(MemInfo::dword(addr));
             }
             OpClass::Store => {
                 let addr = self.pick_addr();
@@ -266,10 +268,11 @@ impl InstStream for WorkloadGen {
                 let taken = self.rng.chance(bias);
                 let mispredicted = self.rng.chance(self.profile.mispredict_rate);
                 let target = CODE_BASE + self.rng.below(1 << 16) * 4;
-                b = b
-                    .pc(site_pc)
-                    .src0(self.pick_src(false))
-                    .branch(BranchInfo { taken, mispredicted, target });
+                b = b.pc(site_pc).src0(self.pick_src(false)).branch(BranchInfo {
+                    taken,
+                    mispredicted,
+                    target,
+                });
             }
             OpClass::Trap | OpClass::MemBarrier | OpClass::Nop => {}
             _ => {
@@ -341,7 +344,12 @@ mod tests {
 
     #[test]
     fn serializing_fraction_matches_profile() {
-        for b in [Benchmark::Bzip2, Benchmark::Ammp, Benchmark::Galgel, Benchmark::Sha] {
+        for b in [
+            Benchmark::Bzip2,
+            Benchmark::Ammp,
+            Benchmark::Galgel,
+            Benchmark::Sha,
+        ] {
             let stats = WorkloadGen::new(b, N, 11).collect_trace().stats();
             let want = b.profile().frac_serializing;
             let got = stats.serializing_fraction();
@@ -359,7 +367,11 @@ mod tests {
             let stats = WorkloadGen::new(b, N, 13).collect_trace().stats();
             let want = b.profile().frac_store;
             let got = stats.store_fraction();
-            assert!((got - want).abs() < 0.01, "{}: wanted {want}, got {got}", b.name());
+            assert!(
+                (got - want).abs() < 0.01,
+                "{}: wanted {want}, got {got}",
+                b.name()
+            );
         }
     }
 
@@ -377,7 +389,11 @@ mod tests {
         let b = Benchmark::Sha; // 256-line working set
         let t = WorkloadGen::new(b, N, 19).collect_trace();
         let stats = t.stats();
-        assert!(stats.distinct_lines <= 256 * 8 / 8 + 1, "lines {}", stats.distinct_lines);
+        assert!(
+            stats.distinct_lines <= 256 * 8 / 8 + 1,
+            "lines {}",
+            stats.distinct_lines
+        );
         // All addresses inside the data segment.
         for i in t.insts() {
             if let Some(m) = i.mem {
@@ -389,12 +405,16 @@ mod tests {
 
     #[test]
     fn fp_workloads_emit_fp_ops() {
-        let stats = WorkloadGen::new(Benchmark::Galgel, N, 23).collect_trace().stats();
+        let stats = WorkloadGen::new(Benchmark::Galgel, N, 23)
+            .collect_trace()
+            .stats();
         let fp_frac = stats.fraction(OpClass::FpAlu)
             + stats.fraction(OpClass::FpMul)
             + stats.fraction(OpClass::FpDiv);
         assert!(fp_frac > 0.35, "galgel fp fraction {fp_frac}");
-        let int_stats = WorkloadGen::new(Benchmark::Bzip2, N, 23).collect_trace().stats();
+        let int_stats = WorkloadGen::new(Benchmark::Bzip2, N, 23)
+            .collect_trace()
+            .stats();
         assert_eq!(int_stats.count(OpClass::FpAlu), 0);
     }
 
@@ -436,7 +456,10 @@ mod tests {
     #[test]
     fn phases_create_bursty_memory_behaviour() {
         let phased = WorkloadGen::new(Benchmark::Gzip, 40_000, 3)
-            .with_phases(PhaseModel { period: 2_000, mem_boost: 2.0 })
+            .with_phases(PhaseModel {
+                period: 2_000,
+                mem_boost: 2.0,
+            })
             .collect_trace();
         let flat = WorkloadGen::new(Benchmark::Gzip, 40_000, 3).collect_trace();
         // Windowed memory-op fraction varies much more with phases on.
@@ -462,9 +485,24 @@ mod tests {
 
     #[test]
     fn phase_model_validation() {
-        assert!(PhaseModel { period: 0, mem_boost: 2.0 }.validate().is_err());
-        assert!(PhaseModel { period: 100, mem_boost: 9.0 }.validate().is_err());
-        assert!(PhaseModel { period: 100, mem_boost: 2.0 }.validate().is_ok());
+        assert!(PhaseModel {
+            period: 0,
+            mem_boost: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseModel {
+            period: 100,
+            mem_boost: 9.0
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseModel {
+            period: 100,
+            mem_boost: 2.0
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -499,8 +537,12 @@ mod tests {
     fn mcf_misses_more_than_sha_would() {
         // Distinct-lines proxy: mcf's random accesses over a huge working
         // set touch far more lines than sha's streaming over 256.
-        let mcf = WorkloadGen::new(Benchmark::Mcf, N, 37).collect_trace().stats();
-        let sha = WorkloadGen::new(Benchmark::Sha, N, 37).collect_trace().stats();
+        let mcf = WorkloadGen::new(Benchmark::Mcf, N, 37)
+            .collect_trace()
+            .stats();
+        let sha = WorkloadGen::new(Benchmark::Sha, N, 37)
+            .collect_trace()
+            .stats();
         assert!(mcf.distinct_lines > 10 * sha.distinct_lines);
     }
 }

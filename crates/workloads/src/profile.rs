@@ -89,7 +89,10 @@ impl BenchmarkProfile {
     pub fn validate(&self) -> Result<(), String> {
         let rem = self.frac_int_alu();
         if rem < 0.0 {
-            return Err(format!("{}: mix sums past 1.0 (remainder {rem})", self.name));
+            return Err(format!(
+                "{}: mix sums past 1.0 (remainder {rem})",
+                self.name
+            ));
         }
         for (label, v) in [
             ("int_mul", self.frac_int_mul),
@@ -150,13 +153,13 @@ macro_rules! benchmarks {
 const fn p(
     name: &'static str,
     suite: Suite,
-    fp: (f64, f64, f64),        // fp_alu, fp_mul, fp_div
-    int_muldiv: (f64, f64),     // int_mul, int_div
-    mem: (f64, f64),            // load, store
-    branch: (f64, f64),         // fraction, mispredict rate
+    fp: (f64, f64, f64),    // fp_alu, fp_mul, fp_div
+    int_muldiv: (f64, f64), // int_mul, int_div
+    mem: (f64, f64),        // load, store
+    branch: (f64, f64),     // fraction, mispredict rate
     serializing: f64,
-    deps: (f64, u32),           // locality, window
-    ws: (u64, f64),             // lines, spatial locality
+    deps: (f64, u32), // locality, window
+    ws: (u64, f64),   // lines, spatial locality
     pointer_chase: f64,
     hot_fraction: f64,
 ) -> BenchmarkProfile {
@@ -309,12 +312,20 @@ benchmarks! {
 impl Benchmark {
     /// All SPEC2000 benchmarks.
     pub fn spec2000() -> Vec<Benchmark> {
-        Benchmark::all().iter().copied().filter(|b| b.profile().suite == Spec2000).collect()
+        Benchmark::all()
+            .iter()
+            .copied()
+            .filter(|b| b.profile().suite == Spec2000)
+            .collect()
     }
 
     /// All MiBench benchmarks.
     pub fn mibench() -> Vec<Benchmark> {
-        Benchmark::all().iter().copied().filter(|b| b.profile().suite == MiBench).collect()
+        Benchmark::all()
+            .iter()
+            .copied()
+            .filter(|b| b.profile().suite == MiBench)
+            .collect()
     }
 
     /// The benchmark's display name (paper spelling).

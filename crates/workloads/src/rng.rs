@@ -20,7 +20,9 @@ impl SplitMixStream {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
         // Pre-whiten so that small seeds (0, 1, 2 …) give unrelated streams.
-        SplitMixStream { state: splitmix64(seed ^ 0x6a09_e667_f3bc_c908) }
+        SplitMixStream {
+            state: splitmix64(seed ^ 0x6a09_e667_f3bc_c908),
+        }
     }
 
     /// Next 64 uniformly distributed bits.

@@ -19,19 +19,45 @@ fn every_benchmark_matches_its_declared_mix() {
                 bench.name()
             );
         };
-        close(stats.fraction(OpClass::Load), p.frac_load, 0.01, "load fraction");
-        close(stats.fraction(OpClass::Store), p.frac_store, 0.01, "store fraction");
-        close(stats.fraction(OpClass::Branch), p.frac_branch, 0.01, "branch fraction");
-        close(stats.serializing_fraction(), p.frac_serializing, 0.004, "serializing fraction");
         close(
-            stats.fraction(OpClass::FpAlu) + stats.fraction(OpClass::FpMul)
+            stats.fraction(OpClass::Load),
+            p.frac_load,
+            0.01,
+            "load fraction",
+        );
+        close(
+            stats.fraction(OpClass::Store),
+            p.frac_store,
+            0.01,
+            "store fraction",
+        );
+        close(
+            stats.fraction(OpClass::Branch),
+            p.frac_branch,
+            0.01,
+            "branch fraction",
+        );
+        close(
+            stats.serializing_fraction(),
+            p.frac_serializing,
+            0.004,
+            "serializing fraction",
+        );
+        close(
+            stats.fraction(OpClass::FpAlu)
+                + stats.fraction(OpClass::FpMul)
                 + stats.fraction(OpClass::FpDiv),
             p.frac_fp_alu + p.frac_fp_mul + p.frac_fp_div,
             0.012,
             "fp fraction",
         );
         if p.frac_branch > 0.03 {
-            close(stats.mispredict_rate(), p.mispredict_rate, 0.03, "mispredict rate");
+            close(
+                stats.mispredict_rate(),
+                p.mispredict_rate,
+                0.03,
+                "mispredict rate",
+            );
         }
     }
 }

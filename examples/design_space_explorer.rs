@@ -14,13 +14,18 @@ fn main() {
     let insts = 50_000;
     let trace = WorkloadGen::new(bench, insts, 3).collect_trace();
     let mut stream = WorkloadGen::new(bench, insts, 3);
-    let base = run_baseline(CoreConfig::table1(), &mut stream).core.last_commit_cycle as f64;
+    let base = run_baseline(CoreConfig::table1(), &mut stream)
+        .core
+        .last_commit_cycle as f64;
 
     // Unlike Fig. 5 (which co-scales FI and comparison latency), this
     // sweep holds latency at 10 cycles and isolates the FI trade-off:
     // small FI ⇒ frequent synchronization; large FI ⇒ a CSB that grows
     // toward the size of the core.
-    println!("== Reunion: fingerprint interval sweep ({}) ==", bench.name());
+    println!(
+        "== Reunion: fingerprint interval sweep ({}) ==",
+        bench.name()
+    );
     println!(
         "{:>4} {:>8} {:>14} {:>14} {:>12}",
         "FI", "CSB", "runtime norm", "core area um2", "ROB occ"
@@ -28,7 +33,12 @@ fn main() {
     for fi in [1u32, 5, 10, 20, 30, 50] {
         let mut s = WorkloadGen::new(bench, insts, 3);
         let mut hooks = ReunionHooks::new(ReunionConfig::for_fi(fi, 10));
-        let r = run_stream(CoreConfig::table1(), &mut s, &mut hooks, WritePolicy::WriteThrough);
+        let r = run_stream(
+            CoreConfig::table1(),
+            &mut s,
+            &mut hooks,
+            WritePolicy::WriteThrough,
+        );
         let hw = CoreModel::reunion_with_fi(fi);
         println!(
             "{:>4} {:>8} {:>14.3} {:>14.0} {:>12.1}",
@@ -50,12 +60,17 @@ fn main() {
             .area_um2
     );
 
-    println!("\n== UnSync: Communication-Buffer size sweep ({}) ==", bench.name());
-    println!("{:>8} {:>8} {:>14} {:>14}", "bytes", "entries", "runtime norm", "CB area um2");
+    println!(
+        "\n== UnSync: Communication-Buffer size sweep ({}) ==",
+        bench.name()
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "bytes", "entries", "runtime norm", "CB area um2"
+    );
     for bytes in [16usize, 64, 256, 1024, 2048, 4096] {
         let entries = UnsyncConfig::cb_entries_for_bytes(bytes);
-        let pair =
-            UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries));
+        let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries));
         let out = pair.run(&trace, &[]);
         let hw = CoreModel::unsync_with_cb(entries as u32);
         println!(

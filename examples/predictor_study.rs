@@ -30,8 +30,7 @@ fn main() {
         let mut last_ipc = 0.0;
         for predictor in [Gshare::with_history(12, 0), Gshare::new(14)] {
             let mut mem = MemSystem::new(HierarchyConfig::table1(), 1, WritePolicy::WriteThrough);
-            let mut engine =
-                OooEngine::new(CoreConfig::table1(), 0).with_predictor(predictor);
+            let mut engine = OooEngine::new(CoreConfig::table1(), 0).with_predictor(predictor);
             let mut hooks = BaselineHooks::default();
             let mut g = WorkloadGen::new(bench, insts, 5);
             let mut inst_count = 0u64;

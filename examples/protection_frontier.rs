@@ -55,8 +55,14 @@ fn main() {
         }
     }
 
-    println!("Selective-protection Pareto frontier ({} candidate placements):", points.len());
-    println!("{:>10} {:>12}   protected structures", "ROEC %", "area ovh %");
+    println!(
+        "Selective-protection Pareto frontier ({} candidate placements):",
+        points.len()
+    );
+    println!(
+        "{:>10} {:>12}   protected structures",
+        "ROEC %", "area ovh %"
+    );
     for &(cov, area, mask) in &frontier {
         let names: Vec<&str> = ALL_TARGETS
             .iter()

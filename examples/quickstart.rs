@@ -11,7 +11,10 @@ fn main() {
     let insts = 50_000;
     let seed = 42;
 
-    println!("workload: {} ({insts} instructions, seed {seed})", bench.name());
+    println!(
+        "workload: {} ({insts} instructions, seed {seed})",
+        bench.name()
+    );
     let profile = bench.profile();
     println!(
         "  {:.1}% loads, {:.1}% stores, {:.2}% serializing instructions",
@@ -23,7 +26,11 @@ fn main() {
     // 1. The unprotected baseline CMP core (Table I).
     let mut stream = WorkloadGen::new(bench, insts, seed);
     let base = run_baseline(CoreConfig::table1(), &mut stream);
-    println!("\nbaseline:      IPC {:.3}  ({} cycles)", base.ipc(), base.core.last_commit_cycle);
+    println!(
+        "\nbaseline:      IPC {:.3}  ({} cycles)",
+        base.ipc(),
+        base.core.last_commit_cycle
+    );
 
     // 2. A Reunion vocal/mute pair (fingerprint comparison, FI = 10).
     let trace = WorkloadGen::new(bench, insts, seed).collect_trace();

@@ -11,7 +11,9 @@
 use unsync::prelude::*;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/unsync_demo.utrc".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/unsync_demo.utrc".into());
     let bench = Benchmark::Dijkstra;
     let trace = WorkloadGen::new(bench, 2_000, 2026).collect_trace();
 

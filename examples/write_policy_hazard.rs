@@ -23,11 +23,21 @@ fn main() {
         PairFault {
             at: 5_000,
             core: 0,
-            site: FaultSite { target: FaultTarget::RegisterFile, bit_offset: 131 }, kind: unsync_fault::FaultKind::Single },
+            site: FaultSite {
+                target: FaultTarget::RegisterFile,
+                bit_offset: 131,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        },
         PairFault {
             at: 5_000,
             core: 1,
-            site: FaultSite { target: FaultTarget::L1Data, bit_offset: 77_777 }, kind: unsync_fault::FaultKind::Single },
+            site: FaultSite {
+                target: FaultTarget::L1Data,
+                bit_offset: 77_777,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        },
     ];
 
     println!("Fig. 2 double-strike scenario (error on core 0, then core 1's L1):\n");

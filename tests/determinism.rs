@@ -9,10 +9,9 @@ fn all_three_architectures_are_deterministic() {
         let t = WorkloadGen::new(Benchmark::Vpr, 15_000, 77).collect_trace();
         let mut s = WorkloadGen::new(Benchmark::Vpr, 15_000, 77);
         let base = run_baseline(CoreConfig::table1(), &mut s);
-        let r = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
-            .run(&t, &[]);
-        let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
-            .run(&t, &[]);
+        let r =
+            ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline()).run(&t, &[]);
+        let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
         (base.core.last_commit_cycle, r, u)
     };
     assert_eq!(run(), run());
@@ -38,8 +37,7 @@ fn fault_runs_are_deterministic() {
 fn different_seeds_give_different_traces_but_both_run_correctly() {
     for seed in [1u64, 2, 3] {
         let t = WorkloadGen::new(Benchmark::Fft, 8_000, seed).collect_trace();
-        let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
-            .run(&t, &[]);
+        let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
         assert!(u.correct(), "seed {seed}: {u:?}");
         assert_eq!(u.committed, 8_000);
     }

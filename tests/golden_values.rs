@@ -1,0 +1,83 @@
+//! Golden-value tests for the paper's headline experiments: the
+//! quick-config (`ExperimentConfig::quick()`) JSONL output of Fig. 4,
+//! Fig. 5, and Table I is snapshotted under `tests/golden/` and any
+//! drift fails the build.
+//!
+//! When a change *intentionally* moves the numbers (new timing model,
+//! retuned workload profiles, …), regenerate the snapshots with
+//!
+//! ```text
+//! UNSYNC_BLESS=1 cargo test -q --test golden_values
+//! ```
+//!
+//! and commit the diff — the review then shows exactly which measured
+//! values moved, and by how much.
+
+use std::fs;
+use std::path::PathBuf;
+
+use unsync::prelude::Benchmark;
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+/// Compares `lines` against the checked-in snapshot, or rewrites the
+/// snapshot when `UNSYNC_BLESS` is set.
+fn check(name: &str, lines: &[String]) {
+    let text = lines.join("\n") + "\n";
+    let path = golden_path(name);
+    if std::env::var_os("UNSYNC_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        fs::write(&path, &text).expect("write golden snapshot");
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `UNSYNC_BLESS=1 cargo test -q --test golden_values`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, want,
+        "{name} drifted from its golden snapshot; if the change is intended, \
+         regenerate with `UNSYNC_BLESS=1 cargo test -q --test golden_values`"
+    );
+}
+
+#[test]
+fn fig4_quick_matches_golden() {
+    let cfg = ExperimentConfig::quick();
+    // Two workers: the snapshot also pins the parallel path's ordering.
+    let rows = experiments::fig4_on(Runner::new(2), cfg);
+    let mut log = RunLog::start("fig4", cfg);
+    for row in &rows {
+        log.record(render::jsonl::fig4(row));
+    }
+    check("fig4", log.deterministic_lines());
+}
+
+#[test]
+fn fig5_quick_matches_golden() {
+    let cfg = ExperimentConfig::quick();
+    // The paper's two highlighted benchmarks keep the snapshot (and the
+    // test) small; the full five-benchmark sweep lives in the fig5 bin.
+    let benches = [Benchmark::Ammp, Benchmark::Galgel];
+    let cells = experiments::fig5_on(Runner::new(2), cfg, &benches);
+    let mut log = RunLog::start("fig5", cfg);
+    for cell in &cells {
+        log.record(render::jsonl::fig5(cell));
+    }
+    check("fig5", log.deterministic_lines());
+}
+
+#[test]
+fn table1_matches_golden() {
+    let mut log = RunLog::start_static("table1");
+    log.record(render::jsonl::table1());
+    check("table1", log.deterministic_lines());
+}

@@ -11,11 +11,11 @@ const SEED: u64 = 1;
 fn overheads(bench: Benchmark) -> (f64, f64) {
     let t = WorkloadGen::new(bench, N, SEED).collect_trace();
     let mut s = WorkloadGen::new(bench, N, SEED);
-    let base = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle as f64;
-    let r = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
-        .run(&t, &[]);
-    let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
-        .run(&t, &[]);
+    let base = run_baseline(CoreConfig::table1(), &mut s)
+        .core
+        .last_commit_cycle as f64;
+    let r = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline()).run(&t, &[]);
+    let u = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline()).run(&t, &[]);
     (r.cycles as f64 / base - 1.0, u.cycles as f64 / base - 1.0)
 }
 
@@ -23,8 +23,16 @@ fn overheads(bench: Benchmark) -> (f64, f64) {
 fn unsync_beats_reunion_on_every_serializing_benchmark() {
     for bench in Benchmark::serializing_heavy() {
         let (r, u) = overheads(bench);
-        assert!(r > 0.10, "{}: Reunion overhead {r} should exceed 10%", bench.name());
-        assert!(u < 0.03, "{}: UnSync overhead {u} should be negligible", bench.name());
+        assert!(
+            r > 0.10,
+            "{}: Reunion overhead {r} should exceed 10%",
+            bench.name()
+        );
+        assert!(
+            u < 0.03,
+            "{}: UnSync overhead {u} should be negligible",
+            bench.name()
+        );
     }
 }
 
@@ -33,12 +41,20 @@ fn performance_improvement_reaches_double_digits() {
     // "improves performance by up to 20%": the largest per-benchmark gap
     // between Reunion and UnSync runtimes.
     let mut best = 0.0f64;
-    for &bench in &[Benchmark::Galgel, Benchmark::Sha, Benchmark::Bitcount, Benchmark::Crc32] {
+    for &bench in &[
+        Benchmark::Galgel,
+        Benchmark::Sha,
+        Benchmark::Bitcount,
+        Benchmark::Crc32,
+    ] {
         let (r, u) = overheads(bench);
         let improvement = 1.0 - (1.0 + u) / (1.0 + r);
         best = best.max(improvement);
     }
-    assert!(best > 0.10, "best UnSync-vs-Reunion improvement {best} < 10%");
+    assert!(
+        best > 0.10,
+        "best UnSync-vs-Reunion improvement {best} < 10%"
+    );
 }
 
 #[test]
@@ -51,8 +67,7 @@ fn area_and_power_savings_match_the_abstract() {
     assert!(area_saving > 0.10, "area saving {area_saving}");
     // "34.5% lower power overhead": overhead 40.3% vs 74.8% ⇒ the
     // *overhead difference* is ≈34.5 percentage points.
-    let dif =
-        t2.reunion.power_overhead_pct.unwrap() - t2.unsync.power_overhead_pct.unwrap();
+    let dif = t2.reunion.power_overhead_pct.unwrap() - t2.unsync.power_overhead_pct.unwrap();
     assert!((dif - 34.5).abs() < 2.0, "power-overhead difference {dif}");
 }
 

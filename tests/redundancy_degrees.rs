@@ -12,17 +12,30 @@ fn redundancy_degree_trades_cycles_for_burst_tolerance() {
         PairFault {
             at: 3_000,
             core: 0,
-            site: FaultSite { target: FaultTarget::RegisterFile, bit_offset: 70 }, kind: unsync_fault::FaultKind::Single },
+            site: FaultSite {
+                target: FaultTarget::RegisterFile,
+                bit_offset: 70,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        },
         PairFault {
             at: 3_000,
             core: 1,
-            site: FaultSite { target: FaultTarget::Lsq, bit_offset: 7 }, kind: unsync_fault::FaultKind::Single },
+            site: FaultSite {
+                target: FaultTarget::Lsq,
+                bit_offset: 7,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        },
     ];
     let g2 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 2);
     let g3 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 3);
     let o2 = g2.run(&t, &burst);
     let o3 = g3.run(&t, &burst);
-    assert!(!o2.correct(), "2-way cannot source recovery for a double strike");
+    assert!(
+        !o2.correct(),
+        "2-way cannot source recovery for a double strike"
+    );
     assert!(o3.correct(), "3-way has a clean replica: {o3:?}");
     // Error-free: wider groups are never faster.
     let f2 = g2.run(&t, &[]);
@@ -46,7 +59,9 @@ fn system_and_pair_agree_for_one_pair() {
 fn energy_reflects_measured_runtimes() {
     let t = WorkloadGen::new(Benchmark::Galgel, 20_000, 35).collect_trace();
     let mut s = WorkloadGen::new(Benchmark::Galgel, 20_000, 35);
-    let base_cycles = run_baseline(CoreConfig::table1(), &mut s).core.last_commit_cycle;
+    let base_cycles = run_baseline(CoreConfig::table1(), &mut s)
+        .core
+        .last_commit_cycle;
     let u_cycles = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
         .run(&t, &[])
         .cycles;
@@ -71,10 +86,21 @@ fn recovery_mode_ablation_is_correct_under_bursts() {
         .map(|i| PairFault {
             at: 1_000 + i * 1_400,
             core: (i % 2) as usize,
-            site: FaultSite { target: FaultTarget::Rob, bit_offset: i }, kind: unsync_fault::FaultKind::Single })
+            site: FaultSite {
+                target: FaultTarget::Rob,
+                bit_offset: i,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        })
         .collect();
-    for mode in [unsync::core::RecoveryMode::CopyL1, unsync::core::RecoveryMode::InvalidateOnly] {
-        let cfg = UnsyncConfig { recovery_mode: mode, ..UnsyncConfig::paper_baseline() };
+    for mode in [
+        unsync::core::RecoveryMode::CopyL1,
+        unsync::core::RecoveryMode::InvalidateOnly,
+    ] {
+        let cfg = UnsyncConfig {
+            recovery_mode: mode,
+            ..UnsyncConfig::paper_baseline()
+        };
         let out = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
         assert_eq!(out.recoveries, 6, "{mode:?}");
         assert!(out.correct(), "{mode:?}: {out:?}");

@@ -18,7 +18,12 @@ fn injected_rate_matches_analytic_projection() {
         .map(|i| PairFault {
             at: (i + 1) * insts / (k + 1),
             core: (i % 2) as usize,
-            site: FaultSite { target: FaultTarget::Rob, bit_offset: 3 + i }, kind: unsync_fault::FaultKind::Single })
+            site: FaultSite {
+                target: FaultTarget::Rob,
+                bit_offset: 3 + i,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        })
         .collect();
     let per_event = (pair.run(&t, &probe).cycles as f64 - t0) / k as f64;
 
