@@ -2,22 +2,10 @@
 //! side by side: tight lockstep (§II mainframes), Reunion, coarse
 //! checkpointing (Smolens 2004) and UnSync.
 
-use unsync_bench::{ExperimentConfig, Json, RunLog};
-use unsync_core::{UnsyncConfig, UnsyncPair};
-use unsync_mem::WritePolicy;
-use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
-use unsync_sim::{run_baseline, run_stream, CoreConfig};
-use unsync_workloads::{Benchmark, WorkloadGen};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let benches = [
-        Benchmark::Bzip2,
-        Benchmark::Galgel,
-        Benchmark::Sha,
-        Benchmark::Mcf,
-        Benchmark::Qsort,
-    ];
     println!(
         "Error-free runtime overhead vs baseline ({} instructions)",
         cfg.inst_count
@@ -27,48 +15,15 @@ fn main() {
         "benchmark", "lockstep", "Reunion", "checkpoint", "UnSync"
     );
     let mut log = RunLog::start("comparators", cfg);
-    for bench in benches {
-        let t = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
-        let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-        let base = run_baseline(CoreConfig::table1(), &mut s)
-            .core
-            .last_commit_cycle as f64;
-        let pct = |cycles: u64| (cycles as f64 / base - 1.0) * 100.0;
-
-        let lockstep = LockstepPair::new(CoreConfig::table1()).run(&t).cycles;
-        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
-            .run(&t, &[])
-            .cycles;
-        let ckpt = {
-            let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
-            let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
-            run_stream(
-                CoreConfig::table1(),
-                &mut s,
-                &mut hooks,
-                WritePolicy::WriteThrough,
-            )
-            .core
-            .last_commit_cycle
-        };
-        let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
-            .run(&t, &[])
-            .cycles;
-        log.record(
-            Json::obj()
-                .field("benchmark", bench.name())
-                .field("lockstep_overhead_pct", pct(lockstep))
-                .field("reunion_overhead_pct", pct(reunion))
-                .field("checkpoint_overhead_pct", pct(ckpt))
-                .field("unsync_overhead_pct", pct(unsync)),
-        );
+    for row in &experiments::comparators(cfg) {
+        log.record(render::jsonl::comparators(row));
         println!(
             "{:<12} {:>9.2}% {:>9.2}% {:>11.2}% {:>9.2}%",
-            bench.name(),
-            pct(lockstep),
-            pct(reunion),
-            pct(ckpt),
-            pct(unsync)
+            row.bench,
+            row.lockstep_overhead * 100.0,
+            row.reunion_overhead * 100.0,
+            row.checkpoint_overhead * 100.0,
+            row.unsync_overhead * 100.0
         );
     }
     if let Some(p) = log.write(1) {

@@ -4,7 +4,7 @@ use serde::Serialize;
 use unsync_core::{UnsyncConfig, UnsyncPair};
 use unsync_fault::{Coverage, FaultTarget, PairFault, SerRate};
 use unsync_isa::TraceProgram;
-use unsync_reunion::{ReunionConfig, ReunionPair};
+use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
 use unsync_sim::CoreConfig;
 use unsync_workloads::{Benchmark, WorkloadGen};
 
@@ -469,6 +469,76 @@ pub fn roec_on(runner: Runner, cfg: ExperimentConfig, campaigns: u64) -> RoecRep
         reunion: results[1].0,
         reunion_by_target: results[1].1.clone(),
     }
+}
+
+// ─────────────────────────── Comparators ────────────────────────────────
+
+/// Error-free overhead of one benchmark under every redundancy
+/// discipline in the repository, relative to the unprotected baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ComparatorRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Tight-lockstep overhead vs. baseline (fraction).
+    pub lockstep_overhead: f64,
+    /// Reunion overhead vs. baseline (fraction).
+    pub reunion_overhead: f64,
+    /// Coarse-checkpointing overhead vs. baseline (fraction).
+    pub checkpoint_overhead: f64,
+    /// UnSync overhead vs. baseline (fraction).
+    pub unsync_overhead: f64,
+}
+
+/// The benchmark subset the comparator study reports (one cache-friendly
+/// and one memory-bound representative from each suite).
+pub const COMPARATOR_BENCHES: [Benchmark; 5] = [
+    Benchmark::Bzip2,
+    Benchmark::Galgel,
+    Benchmark::Sha,
+    Benchmark::Mcf,
+    Benchmark::Qsort,
+];
+
+/// Error-free runtime overhead of every redundancy discipline —
+/// lockstep, Reunion, checkpointing, UnSync — on identical workloads.
+pub fn comparators(cfg: ExperimentConfig) -> Vec<ComparatorRow> {
+    comparators_on(Runner::from_env(), cfg)
+}
+
+/// [`comparators`] on an explicit runner.
+pub fn comparators_on(runner: Runner, cfg: ExperimentConfig) -> Vec<ComparatorRow> {
+    per_benchmark(runner, &COMPARATOR_BENCHES, |bench| {
+        let t = trace(bench, cfg);
+        let base = baseline_cycles(bench, cfg) as f64;
+        let over = |cycles: u64| cycles as f64 / base - 1.0;
+
+        let lockstep = LockstepPair::new(CoreConfig::table1()).run(&t).cycles;
+        let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
+            .run(&t, &[])
+            .cycles;
+        let ckpt = {
+            let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+            let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
+            unsync_sim::run_stream(
+                CoreConfig::table1(),
+                &mut s,
+                &mut hooks,
+                unsync_mem::WritePolicy::WriteThrough,
+            )
+            .core
+            .last_commit_cycle
+        };
+        let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
+            .run(&t, &[])
+            .cycles;
+        ComparatorRow {
+            bench: bench.name(),
+            lockstep_overhead: over(lockstep),
+            reunion_overhead: over(reunion),
+            checkpoint_overhead: over(ckpt),
+            unsync_overhead: over(unsync),
+        }
+    })
 }
 
 #[cfg(test)]

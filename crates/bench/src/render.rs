@@ -1,6 +1,6 @@
 //! Text rendering of experiment results (the "figures" as tables).
 
-use crate::experiments::{Fig4Row, Fig5Cell, Fig6Row, RoecReport, SerSweep};
+use crate::experiments::{ComparatorRow, Fig4Row, Fig5Cell, Fig6Row, RoecReport, SerSweep};
 
 /// Renders Fig. 4 as a per-benchmark overhead table.
 pub fn fig4(rows: &[Fig4Row]) -> String {
@@ -191,8 +191,9 @@ pub mod csv {
     }
 }
 
-/// JSONL record builders for the figure data — one [`Json`] object per
-/// result row, consumed by the binaries' [`RunLog`](crate::RunLog)s.
+/// JSONL record builders for the figure data — one
+/// [`Json`](crate::runlog::Json) object per result row, consumed by the
+/// binaries' [`RunLog`](crate::RunLog)s.
 /// Deterministic: a pure function of the experiment output.
 pub mod jsonl {
     use super::*;
@@ -241,6 +242,16 @@ pub mod jsonl {
             .field("reunion_norm", c.reunion_norm)
             .field("unsync_norm", c.unsync_norm)
             .field("reunion_rob_occupancy", c.reunion_rob_occupancy)
+    }
+
+    /// One comparator-study row.
+    pub fn comparators(r: &ComparatorRow) -> Json {
+        Json::obj()
+            .field("benchmark", r.bench)
+            .field("lockstep_overhead", r.lockstep_overhead)
+            .field("reunion_overhead", r.reunion_overhead)
+            .field("checkpoint_overhead", r.checkpoint_overhead)
+            .field("unsync_overhead", r.unsync_overhead)
     }
 
     /// One Fig. 6 row.

@@ -11,50 +11,38 @@
 //! group additionally survives *simultaneous* faults on `N − 1` replicas
 //! (there is always a clean source), at `N×` the area/power — the
 //! trade-off quantified by `unsync-hwcost`.
+//!
+//! Execution routes through the shared [`unsync_exec::RedundantDriver`]
+//! with [`GroupPolicy`], the N-replica [`unsync_exec::RedundancyPolicy`]
+//! (it opts out of the driver's pair-shaped pending-store tracking and
+//! manages group store agreement itself).
 
 use serde::{Deserialize, Serialize};
+use unsync_exec::{LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, TraceEventKind};
 use unsync_fault::PairFault;
-use unsync_isa::{golden_run, ArchMemory, ArchState, TraceProgram};
-use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
-use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_isa::{Inst, TraceProgram};
+use unsync_mem::MemSystem;
+use unsync_sim::{CoreConfig, InstTiming, NullHooks};
 
 use crate::cb::GroupCb;
 use crate::config::UnsyncConfig;
 
 /// Outcome of running an N-way redundancy group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GroupOutcome {
+    /// The counters all schemes share (committed, cycles, recoveries,
+    /// unrecoverable, …).
+    pub core: OutcomeCore,
     /// Redundancy degree.
     pub ways: usize,
-    /// Committed instructions.
-    pub committed: u64,
-    /// Total cycles (slowest replica's last commit).
-    pub cycles: u64,
-    /// Detections and recoveries performed.
-    pub recoveries: u64,
-    /// Faults that could not be recovered (every replica corrupt at
-    /// once — impossible for single faults, possible for bursts wider
-    /// than `N − 1`).
-    pub unrecoverable: u64,
-    /// Whether the final committed memory matches the golden run.
-    pub memory_matches_golden: bool,
     /// Entries drained through the group CB.
     pub cb_drained: u64,
 }
 
-impl GroupOutcome {
-    /// Instructions per cycle of the group.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
-    }
-
-    /// True if execution was fully correct.
-    pub fn correct(&self) -> bool {
-        self.memory_matches_golden && self.unrecoverable == 0
+impl std::ops::Deref for GroupOutcome {
+    type Target = OutcomeCore;
+    fn deref(&self) -> &OutcomeCore {
+        &self.core
     }
 }
 
@@ -90,113 +78,138 @@ impl UnsyncGroup {
     /// Runs `trace` with the given faults (sorted by `at`; `core` indexes
     /// the replica, `< ways`).
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> GroupOutcome {
-        assert!(
-            faults.windows(2).all(|w| w[0].at <= w[1].at),
-            "faults must be sorted"
-        );
-        assert!(
-            faults.iter().all(|f| f.core < self.ways),
-            "fault core out of range"
-        );
-        let n = self.ways;
-        let (_, golden_mem) = golden_run(trace);
+        let driver = RedundantDriver::new(self.ccfg);
+        let mut policy = GroupPolicy::new(self.ucfg, self.ways);
+        let res = driver.run(&mut policy, trace, faults);
+        GroupOutcome {
+            core: res.out,
+            ways: self.ways,
+            cb_drained: res.events.sum(TraceEventKind::CbDrain),
+        }
+    }
+}
 
-        let mut mem = MemSystem::new(HierarchyConfig::table1(), n, WritePolicy::WriteThrough);
-        let mut engines: Vec<OooEngine> = (0..n).map(|c| OooEngine::new(self.ccfg, c)).collect();
-        let mut hooks: Vec<NullHooks> = vec![NullHooks; n];
-        let mut arch: Vec<ArchState> = (0..n).map(|_| ArchState::new()).collect();
-        let mut committed_mem = ArchMemory::new();
-        let mut cb = GroupCb::new(self.ucfg.cb_entries, n);
+/// The N-way UnSync group as a [`RedundancyPolicy`]. The group stays in
+/// virtual lockstep per instruction, so store forwarding simplifies to
+/// immediate visibility of the group's agreed store values: the policy
+/// opts out of pending-store tracking and commits replica 0's copy once
+/// the group produced the store.
+pub struct GroupPolicy {
+    ucfg: UnsyncConfig,
+    ways: usize,
+    hooks: Vec<NullHooks>,
+    cb: GroupCb,
+}
 
-        let mut out = GroupOutcome {
-            ways: n,
-            committed: 0,
-            cycles: 0,
-            recoveries: 0,
-            unrecoverable: 0,
-            memory_matches_golden: false,
-            cb_drained: 0,
+impl GroupPolicy {
+    /// A policy for `ways ≥ 2` replicas.
+    pub fn new(ucfg: UnsyncConfig, ways: usize) -> Self {
+        assert!(ways >= 2, "redundancy requires at least two replicas");
+        GroupPolicy {
+            ucfg,
+            ways,
+            hooks: vec![NullHooks; ways],
+            cb: GroupCb::new(ucfg.cb_entries, ways),
+        }
+    }
+}
+
+impl RedundancyPolicy for GroupPolicy {
+    type Hooks = NullHooks;
+
+    fn name(&self) -> &'static str {
+        "unsync_group"
+    }
+
+    fn replicas(&self) -> usize {
+        self.ways
+    }
+
+    fn uses_pending(&self) -> bool {
+        false
+    }
+
+    fn hooks_mut(&mut self, core: usize) -> &mut NullHooks {
+        &mut self.hooks[core]
+    }
+
+    fn store_executed(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        core: usize,
+        seq: u64,
+        addr: u64,
+        result: u64,
+        timing: InstTiming,
+    ) {
+        let done = self.cb.push(core, seq, addr / 64, timing.commit, mem);
+        if done > timing.commit {
+            lane.engines[core].backpressure_until(done);
+        }
+        // All replicas produce the store this instruction (virtual
+        // lockstep); commit one copy architecturally.
+        if core == 0 {
+            lane.committed_mem.write(addr, result);
+        }
+    }
+
+    /// Faults: detected by the per-element hardware; one recovery event
+    /// copies state from any error-free replica to every struck one.
+    fn after_instruction(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        seq: u64,
+        faults: &[PairFault],
+        _first_attempt: bool,
+    ) {
+        if faults.is_empty() {
+            return;
+        }
+        let mut struck = vec![false; self.ways];
+        for f in faults {
+            debug_assert_eq!(f.at, seq, "per-instruction segments");
+            struck[f.core] = true;
+        }
+        lane.events.emit(TraceEventKind::Detection);
+        let Some(good) = struck.iter().position(|&s| !s) else {
+            // Every replica struck simultaneously: no clean source.
+            lane.events.emit(TraceEventKind::Unrecoverable);
+            return;
         };
-
-        let insts = trace.insts();
-        let mut next_fault = 0usize;
-        for (i, inst) in insts.iter().enumerate() {
-            let seq = i as u64;
-            let mut store_values: Vec<u64> = Vec::new();
-            for (core, engine) in engines.iter_mut().enumerate() {
-                let timing = engine.feed(inst, &mut mem, &mut hooks[core]);
-                // Functional execution against the shared committed
-                // memory (the group stays in virtual lockstep per
-                // instruction, so forwarding simplifies to immediate
-                // visibility of the group's agreed store values).
-                let addr = inst.mem.map(|m| m.addr).unwrap_or(0);
-                let loaded = inst.op.is_load().then(|| committed_mem.read(addr));
-                let result = arch[core].compute(inst, loaded);
-                if let Some(d) = inst.arch_dest() {
-                    arch[core].write(d, result);
-                }
-                if inst.op.is_store() {
-                    store_values.push(result);
-                    let done = cb.push(core, seq, addr / 64, timing.commit, &mut mem);
-                    if done > timing.commit {
-                        engine.backpressure_until(done);
-                    }
-                }
-            }
-            if inst.op.is_store() {
-                // All replicas produced the store this iteration; commit
-                // one copy architecturally.
-                let addr = inst.mem.expect("store").addr;
-                committed_mem.write(addr, store_values[0]);
-            }
-            out.committed += 1;
-
-            // Faults: detected by the per-element hardware; recovery
-            // copies from any error-free replica.
-            while next_fault < faults.len() && faults[next_fault].at == seq {
-                let mut struck = vec![false; n];
-                while next_fault < faults.len() && faults[next_fault].at == seq {
-                    struck[faults[next_fault].core] = true;
-                    next_fault += 1;
-                }
-                let Some(good) = struck.iter().position(|&s| !s) else {
-                    // Every replica struck simultaneously: no clean source.
-                    out.unrecoverable += 1;
-                    continue;
-                };
-                let now = engines.iter().map(|e| e.now()).max().unwrap_or(0);
-                let stall_start = now
-                    + self.ucfg.detection_latency as u64
-                    + self.ucfg.eih_latency as u64
-                    + self.ucfg.flush_cycles as u64;
-                let word_beats = mem.config().word_transfer_beats() as u64;
-                let l1_lines = mem.l1d(good).valid_lines() as u64;
-                // Each erroneous replica receives the state + L1 copy.
-                let bad_count = struck.iter().filter(|&&s| s).count() as u64;
-                let recovery_end =
-                    stall_start + bad_count * (2 * 64 * word_beats + mem.l1_copy_cost(l1_lines));
-                let good_state = arch[good].clone();
-                let good_l1 = mem.l1d(good).clone();
-                for (core, &s) in struck.iter().enumerate() {
-                    if s {
-                        arch[core].copy_from(&good_state);
-                        *mem.l1d_mut(core) = good_l1.clone();
-                    }
-                }
-                for e in engines.iter_mut() {
-                    e.stall_until(recovery_end);
-                }
-                out.recoveries += 1;
+        let now = lane.now();
+        let stall_start = now
+            + self.ucfg.detection_latency as u64
+            + self.ucfg.eih_latency as u64
+            + self.ucfg.flush_cycles as u64;
+        let word_beats = mem.config().word_transfer_beats() as u64;
+        let l1_lines = mem.l1d(lane.core_base + good).valid_lines() as u64;
+        // Each erroneous replica receives the state + L1 copy.
+        let bad_count = struck.iter().filter(|&&s| s).count() as u64;
+        let recovery_end =
+            stall_start + bad_count * (2 * 64 * word_beats + mem.l1_copy_cost(l1_lines));
+        let good_state = lane.arch[good].clone();
+        let good_l1 = mem.l1d(lane.core_base + good).clone();
+        for (core, &s) in struck.iter().enumerate() {
+            if s {
+                lane.arch[core].copy_from(&good_state);
+                *mem.l1d_mut(lane.core_base + core) = good_l1.clone();
             }
         }
+        for e in lane.engines.iter_mut() {
+            e.stall_until(recovery_end);
+        }
+        lane.events.emit(TraceEventKind::RecoveryStart);
+        lane.events
+            .emit_value(TraceEventKind::RecoveryEnd, recovery_end - now);
+    }
 
-        out.cycles = engines.iter().map(|e| e.now()).max().unwrap_or(0);
-        out.cb_drained = cb.drained;
-        out.memory_matches_golden = out.unrecoverable == 0
-            && golden_mem
-                .iter()
-                .all(|(addr, val)| committed_mem.read(addr) == val);
-        out
+    fn finish(&mut self, _mem: &mut MemSystem, lane: &mut LaneState) {
+        lane.events
+            .emit_value(TraceEventKind::CbDrain, self.cb.drained);
     }
 }
 
@@ -227,7 +240,7 @@ mod tests {
         let t = trace(5_000);
         let g = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 2);
         let out = g.run(&t, &[]);
-        assert_eq!(out.committed, 5_000);
+        assert_eq!(out.core.committed, 5_000);
         assert!(out.correct(), "{out:?}");
         assert!(out.cb_drained > 0);
     }
@@ -241,7 +254,7 @@ mod tests {
                 let g = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), n);
                 let out = g.run(&t, &[]);
                 assert!(out.correct(), "{n}-way: {out:?}");
-                out.cycles
+                out.core.cycles
             })
             .collect();
         // The slowest of N replicas can only get slower as N grows.
@@ -256,13 +269,13 @@ mod tests {
         let faults2 = [fault(1_000, 0), fault(1_000, 1)];
         let g2 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 2);
         let out2 = g2.run(&t, &faults2);
-        assert_eq!(out2.unrecoverable, 1);
+        assert_eq!(out2.core.unrecoverable, 1);
         assert!(!out2.correct());
         // A 3-way group has a surviving replica to copy from.
         let g3 = UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), 3);
         let out3 = g3.run(&t, &faults2);
-        assert_eq!(out3.unrecoverable, 0);
-        assert_eq!(out3.recoveries, 1);
+        assert_eq!(out3.core.unrecoverable, 0);
+        assert_eq!(out3.core.recoveries, 1);
         assert!(out3.correct(), "{out3:?}");
     }
 
@@ -274,7 +287,7 @@ mod tests {
                 let g =
                     UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), ways);
                 let out = g.run(&t, &[fault(800, core)]);
-                assert_eq!(out.recoveries, 1, "{ways}-way, core {core}");
+                assert_eq!(out.core.recoveries, 1, "{ways}-way, core {core}");
                 assert!(out.correct(), "{ways}-way, core {core}: {out:?}");
             }
         }

@@ -1,12 +1,14 @@
 //! The UnSync core pair: unsynchronized redundant execution with
 //! always-forward recovery.
 //!
-//! The pair runner interleaves two [`unsync_sim::OooEngine`]s at
-//! instruction granularity over a shared [`unsync_mem::MemSystem`].
-//! Committed write-through stores enter the [`crate::cb::PairedCb`]; a
-//! full CB back-pressures its core's commit. There is **no** output
-//! comparison anywhere — correctness rests on the per-element hardware
-//! detection blocks ([`unsync_fault::Coverage::unsync`]).
+//! Execution routes through the shared [`unsync_exec::RedundantDriver`];
+//! this module contributes only what is UnSync-specific, as the
+//! [`UnsyncPolicy`] implementation of
+//! [`unsync_exec::RedundancyPolicy`]: committed write-through stores
+//! enter the [`crate::cb::PairedCb`] (a full CB back-pressures its
+//! core's commit), and there is **no** output comparison anywhere —
+//! correctness rests on the per-element hardware detection blocks
+//! ([`unsync_fault::Coverage::unsync`]).
 //!
 //! On a detected error (§III-A recovery procedure):
 //! 1. both cores stop (EIH latency);
@@ -19,10 +21,11 @@
 //!    forward*, no re-execution.
 
 use serde::{Deserialize, Serialize};
+use unsync_exec::{LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, TraceEventKind};
 use unsync_fault::{DetectionMechanism, FaultKind, FaultTarget, PairFault};
-use unsync_isa::{golden_run, ArchMemory, ArchState, TraceProgram};
-use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
-use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_isa::{Inst, TraceProgram};
+use unsync_mem::{MemSystem, WritePolicy};
+use unsync_sim::{CoreConfig, InstTiming, NullHooks};
 
 use crate::cb::PairedCb;
 use crate::config::UnsyncConfig;
@@ -30,22 +33,9 @@ use crate::config::UnsyncConfig;
 /// Result of running an UnSync pair to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UnsyncOutcome {
-    /// Committed instructions.
-    pub committed: u64,
-    /// Total cycles (slower core's last commit).
-    pub cycles: u64,
-    /// Errors detected by the hardware blocks.
-    pub detections: u64,
-    /// Always-forward recoveries performed.
-    pub recoveries: u64,
-    /// Total cycles spent stalled in recovery.
-    pub recovery_stall_cycles: u64,
-    /// Unrecoverable events (only possible in the write-back L1
-    /// ablation — the Fig. 2 scenario).
-    pub unrecoverable: u64,
-    /// Faults that escaped detection entirely (zero by construction with
-    /// UnSync's full-coverage detection placement).
-    pub silent_faults: u64,
+    /// The counters all schemes share (committed, cycles, detections,
+    /// recoveries, …).
+    pub core: OutcomeCore,
     /// Strikes on dead values that never needed detection
     /// ([`crate::config::DetectionTiming::OnFirstUse`] only).
     pub benign_faults: u64,
@@ -53,37 +43,17 @@ pub struct UnsyncOutcome {
     /// ([`crate::config::L1Protection::Secded`] only) — no pair recovery
     /// needed.
     pub corrected_in_place: u64,
-    /// Whether the final committed memory image matches the fault-free
-    /// golden run.
-    pub memory_matches_golden: bool,
     /// Stores drained to the L2 (one copy per matched CB pair).
     pub cb_drained: u64,
     /// Commit cycles lost to a full CB (both cores).
     pub cb_full_stall_cycles: u64,
 }
 
-impl UnsyncOutcome {
-    /// Instructions per cycle of the pair.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+impl std::ops::Deref for UnsyncOutcome {
+    type Target = OutcomeCore;
+    fn deref(&self) -> &OutcomeCore {
+        &self.core
     }
-
-    /// True if execution was fully correct.
-    pub fn correct(&self) -> bool {
-        self.memory_matches_golden && self.silent_faults == 0 && self.unrecoverable == 0
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingStore {
-    seq: u64,
-    addr: u64,
-    value: [u64; 2],
-    present: [bool; 2],
 }
 
 /// The UnSync redundant core pair.
@@ -110,7 +80,7 @@ struct PendingStore {
 ///     kind: FaultKind::Single,
 /// };
 /// let out = pair.run(&trace, &[fault]);
-/// assert_eq!(out.recoveries, 1);
+/// assert_eq!(out.core.recoveries, 1);
 /// assert!(out.correct());
 /// ```
 pub struct UnsyncPair {
@@ -144,309 +114,58 @@ impl UnsyncPair {
 
     /// Runs `trace` to completion with the given faults (sorted by `at`).
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> UnsyncOutcome {
-        assert!(
-            faults.windows(2).all(|w| w[0].at <= w[1].at),
-            "faults must be sorted"
-        );
-        let (_, golden_mem) = golden_run(trace);
-
-        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, self.l1_policy);
-        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
-        let mut hooks = [NullHooks, NullHooks];
-        let mut arch = [ArchState::new(), ArchState::new()];
-        let mut committed_mem = ArchMemory::new();
-        let mut cb = PairedCb::with_policy(self.ucfg.cb_entries, self.ucfg.drain_policy);
-        let mut pending: Vec<PendingStore> = Vec::new();
-
-        let mut out = UnsyncOutcome {
-            committed: 0,
-            cycles: 0,
-            detections: 0,
-            recoveries: 0,
-            recovery_stall_cycles: 0,
-            unrecoverable: 0,
-            silent_faults: 0,
-            benign_faults: 0,
-            corrected_in_place: 0,
-            memory_matches_golden: false,
-            cb_drained: 0,
-            cb_full_stall_cycles: 0,
-        };
-
-        let insts = trace.insts();
-        let mut next_fault = 0usize;
-        // End cycle of the most recent recovery, and which core was the
-        // error-free source — the Fig. 2 hazard window.
-        let mut recovery_window: Option<(u64, usize)> = None;
-
-        // Under read-triggered detection, register-file strikes defer to
-        // the struck register's next read (and become benign if the value
-        // dies unread): rewrite their strike points up front.
-        let mut fault_list: Vec<PairFault> = faults.to_vec();
-        let mut benign = 0u64;
-        if self.ucfg.detection_timing == crate::config::DetectionTiming::OnFirstUse {
-            fault_list.retain_mut(|f| {
-                if f.site.target != FaultTarget::RegisterFile {
-                    return true;
-                }
-                let reg_idx = (f.site.bit_offset / 64) as usize % 64;
-                let mut overwritten = false;
-                for inst in &insts[f.at as usize..] {
-                    if inst.sources().any(|r| r.index() == reg_idx) {
-                        f.at = inst.seq;
-                        return true;
-                    }
-                    if inst.arch_dest().is_some_and(|d| d.index() == reg_idx) {
-                        overwritten = true;
-                        break;
-                    }
-                }
-                let _ = overwritten;
-                benign += 1;
-                false
-            });
-            fault_list.sort_by_key(|f| f.at);
+        let driver = RedundantDriver::new(self.ccfg);
+        let mut policy = UnsyncPolicy::new("unsync_pair", self.ucfg, self.l1_policy, 0);
+        let res = driver.run(&mut policy, trace, faults);
+        UnsyncOutcome {
+            core: res.out,
+            benign_faults: res.events.count(TraceEventKind::BenignFault),
+            corrected_in_place: res.events.count(TraceEventKind::CorrectedInPlace),
+            cb_drained: res.events.sum(TraceEventKind::CbDrain),
+            cb_full_stall_cycles: res.events.sum(TraceEventKind::CbFullStall),
         }
-        let faults: &[PairFault] = &fault_list;
-        out.benign_faults = benign;
+    }
+}
 
-        for (i, inst) in insts.iter().enumerate() {
-            let seq = i as u64;
-            for core in 0..2 {
-                let timing = engines[core].feed(inst, &mut mem, &mut hooks[core]);
+/// The UnSync scheme as a [`RedundancyPolicy`]: hardware-only
+/// detection, CB store discipline, and §III-A always-forward recovery.
+/// [`crate::system::UnsyncSystem`] reuses it per lane (constructed with
+/// the lane's CB core base and the `"unsync_system"` metric prefix).
+pub struct UnsyncPolicy {
+    name: &'static str,
+    ucfg: UnsyncConfig,
+    l1_policy: WritePolicy,
+    hooks: [NullHooks; 2],
+    cb: PairedCb,
+    /// End cycle of the most recent recovery, and which core was the
+    /// error-free source — the Fig. 2 hazard window.
+    recovery_window: Option<(u64, usize)>,
+}
 
-                // ── Functional execution ───────────────────────────────
-                let addr = inst.mem.map(|m| m.addr).unwrap_or(0);
-                let loaded = if inst.op.is_load() {
-                    let fwd = pending
-                        .iter()
-                        .rev()
-                        .find(|p| p.present[core] && p.addr == (addr & !7))
-                        .map(|p| p.value[core]);
-                    Some(fwd.unwrap_or_else(|| committed_mem.read(addr)))
-                } else {
-                    None
-                };
-                let result = arch[core].compute(inst, loaded);
-                if let Some(d) = inst.arch_dest() {
-                    arch[core].write(d, result);
-                }
-
-                if inst.op.is_store() {
-                    // Functional: record this core's copy.
-                    match pending.iter_mut().find(|p| p.seq == seq) {
-                        Some(p) => {
-                            p.value[core] = result;
-                            p.present[core] = true;
-                        }
-                        None => {
-                            let mut p = PendingStore {
-                                seq,
-                                addr: addr & !7,
-                                value: [result; 2],
-                                present: [false; 2],
-                            };
-                            p.present[core] = true;
-                            pending.push(p);
-                        }
-                    }
-                    // Timing: the write-through copy enters this core's CB.
-                    let line = addr / 64;
-                    let done = cb.push(core, seq, line, timing.commit, &mut mem);
-                    if done > timing.commit {
-                        engines[core].backpressure_until(done);
-                    }
-                    match self.ucfg.drain_policy {
-                        crate::cb::DrainPolicy::BothComplete => {
-                            // Both sides present ⇒ one copy is
-                            // architecturally committed (drain scheduled
-                            // inside `push`).
-                            if let Some(pos) = pending
-                                .iter()
-                                .position(|p| p.seq == seq && p.present[0] && p.present[1])
-                            {
-                                let p = pending.remove(pos);
-                                committed_mem.write(p.addr, p.value[0]);
-                            }
-                        }
-                        crate::cb::DrainPolicy::Eager => {
-                            // The FIRST copy already left for the L2. If
-                            // the second copy disagrees, the disagreement
-                            // is discovered too late: the wrong value may
-                            // be architectural (silent-corruption window).
-                            let p = pending.iter().find(|p| p.seq == seq).expect("pushed");
-                            if !(p.present[0] && p.present[1]) {
-                                committed_mem.write(p.addr, p.value[core]);
-                            } else {
-                                if p.value[0] != p.value[1] {
-                                    out.silent_faults += 1;
-                                }
-                                let addr = p.addr;
-                                pending.retain(|q| q.seq != seq);
-                                let _ = addr;
-                            }
-                        }
-                    }
-                }
-            }
-            out.committed += 1;
-
-            // ── Faults striking this instruction ───────────────────────
-            while next_fault < faults.len() && faults[next_fault].at == seq {
-                let f = faults[next_fault];
-                next_fault += 1;
-                let bad = f.core;
-                let good = bad ^ 1;
-
-                // Fig. 2 hazard: write-back L1, second strike hits the
-                // error-free core's L1 while its dirty lines are the only
-                // correct copy (a recovery is in flight sourcing from it).
-                if self.l1_policy == WritePolicy::WriteBack {
-                    if let Some((window_end, source)) = recovery_window {
-                        let now = engines[0].now().max(engines[1].now());
-                        let strikes_l1 =
-                            matches!(f.site.target, FaultTarget::L1Data | FaultTarget::L1Tag);
-                        if now <= window_end
-                            && bad == source
-                            && strikes_l1
-                            && mem.l1d(source).dirty_lines() > 0
-                        {
-                            out.detections += 1;
-                            out.unrecoverable += 1;
-                            continue;
-                        }
-                    }
-                }
-
-                // Eager-drain hazard: if the struck instruction was a
-                // store whose (corrupted) value already left for the L2
-                // on the first push, detection fires too late — the
-                // wrong value is architectural. The paper's both-complete
-                // rule closes exactly this window.
-                if self.ucfg.drain_policy == crate::cb::DrainPolicy::Eager
-                    && inst.op.is_store()
-                    && bad == 0
-                    && matches!(f.site.target, FaultTarget::Lsq | FaultTarget::L1Data)
-                {
-                    let addr = inst.mem.expect("store").addr & !7;
-                    let corrupt = committed_mem.read(addr) ^ (1 << (f.site.bit_offset % 64));
-                    committed_mem.write(addr, corrupt);
-                    out.silent_faults += 1;
-                }
-
-                // Which mechanism guards the struck structure, given the
-                // configured L1 code (§III-B1 placement).
-                let mechanism = match f.site.target {
-                    FaultTarget::Pc | FaultTarget::PipelineRegs => DetectionMechanism::Dmr,
-                    FaultTarget::L1Data | FaultTarget::L1Tag => match self.ucfg.l1_protection {
-                        crate::config::L1Protection::LineParity => DetectionMechanism::Parity,
-                        crate::config::L1Protection::Secded => DetectionMechanism::Secded,
-                    },
-                    _ => DetectionMechanism::Parity,
-                };
-
-                // Adjacent double-bit upsets flip an even number of bits:
-                // invisible to 1-bit parity (the §VIII multi-bit hole),
-                // detected by DMR (any difference) and SECDED.
-                if f.kind == FaultKind::AdjacentDouble && mechanism == DetectionMechanism::Parity {
-                    // Undetected: the corruption becomes architectural.
-                    match f.site.target {
-                        FaultTarget::RegisterFile => {
-                            let reg = (f.site.bit_offset / 64) as usize % 64;
-                            let bit = (f.site.bit_offset % 63) as u32;
-                            let regs = arch[bad].regs_mut();
-                            regs[reg] ^= 0b11 << bit;
-                        }
-                        _ => {
-                            // Data-array class: a stale line in memory.
-                            let addr = (f.site.bit_offset & !7) % (1 << 20);
-                            let v = committed_mem.read(0x1000_0000 + addr);
-                            committed_mem
-                                .write(0x1000_0000 + addr, v ^ (0b11 << (f.site.bit_offset % 63)));
-                        }
-                    }
-                    out.silent_faults += 1;
-                    continue;
-                }
-
-                // Single strikes on a SECDED L1 are corrected in place —
-                // no recovery, no stall beyond the codec.
-                if f.kind == FaultKind::Single && mechanism == DetectionMechanism::Secded {
-                    out.detections += 1;
-                    out.corrected_in_place += 1;
-                    continue;
-                }
-
-                // Apply the corruption to the struck core's state. (The
-                // recovery below erases it; modelling it keeps the
-                // correctness check honest.)
-                if f.site.target == FaultTarget::RegisterFile {
-                    let reg = (f.site.bit_offset / 64) as usize % 64;
-                    let bit = (f.site.bit_offset % 64) as u32;
-                    arch[bad].regs_mut()[reg] ^= 1 << bit;
-                }
-                for p in pending.iter_mut() {
-                    if f.site.target == FaultTarget::Lsq && p.present[bad] {
-                        p.value[bad] ^= 1 << (f.site.bit_offset % 64);
-                    }
-                }
-
-                // Every strike is detected (full-coverage placement).
-                out.detections += 1;
-                let recovery_end = self.recover(
-                    bad,
-                    &mut engines,
-                    &mut arch,
-                    &mut cb,
-                    &mut pending,
-                    &mut committed_mem,
-                    &mut mem,
-                    &mut out,
-                );
-                recovery_window = Some((recovery_end, good));
-            }
+impl UnsyncPolicy {
+    /// A policy publishing metrics under `name`, with its CB owned by
+    /// the pair whose first core is `core_base`.
+    pub fn new(
+        name: &'static str,
+        ucfg: UnsyncConfig,
+        l1_policy: WritePolicy,
+        core_base: usize,
+    ) -> Self {
+        UnsyncPolicy {
+            name,
+            ucfg,
+            l1_policy,
+            hooks: [NullHooks, NullHooks],
+            cb: PairedCb::for_cores(ucfg.cb_entries, ucfg.drain_policy, core_base),
+            recovery_window: None,
         }
-
-        out.cycles = engines[0].now().max(engines[1].now());
-        out.cb_drained = cb.drained;
-        out.cb_full_stall_cycles = cb.stats[0].full_stall_cycles + cb.stats[1].full_stall_cycles;
-        out.memory_matches_golden = out.unrecoverable == 0
-            && golden_mem
-                .iter()
-                .all(|(addr, val)| committed_mem.read(addr) == val);
-
-        // Publish run aggregates once per pair run (never per
-        // instruction — the pair loop is the hot path).
-        let m = unsync_sim::metrics::global();
-        m.counter("unsync_pair.runs").inc();
-        m.counter("unsync_pair.instructions").add(out.committed);
-        m.counter("unsync_pair.cycles").add(out.cycles);
-        m.counter("unsync_pair.detections").add(out.detections);
-        m.counter("unsync_pair.recoveries").add(out.recoveries);
-        m.counter("unsync_pair.recovery_stall_cycles")
-            .add(out.recovery_stall_cycles);
-        m.counter("unsync_pair.cb_drained").add(out.cb_drained);
-        m.counter("unsync_pair.cb_full_stall_cycles")
-            .add(out.cb_full_stall_cycles);
-        out
     }
 
-    /// The §III-A always-forward recovery procedure. Returns the cycle at
-    /// which both cores resume.
-    #[allow(clippy::too_many_arguments)]
-    fn recover(
-        &self,
-        bad: usize,
-        engines: &mut [OooEngine; 2],
-        arch: &mut [ArchState; 2],
-        cb: &mut PairedCb,
-        pending: &mut Vec<PendingStore>,
-        committed_mem: &mut ArchMemory,
-        mem: &mut MemSystem,
-        out: &mut UnsyncOutcome,
-    ) -> u64 {
+    /// The §III-A always-forward recovery procedure. Returns the cycle
+    /// at which both cores resume.
+    fn recover(&mut self, mem: &mut MemSystem, lane: &mut LaneState, bad: usize) -> u64 {
         let good = bad ^ 1;
-        let now = engines[0].now().max(engines[1].now());
+        let now = lane.now();
         // 1: detection fires, the EIH signals RECOVERY, both cores stop.
         let stall_start = now + self.ucfg.detection_latency as u64 + self.ucfg.eih_latency as u64;
         // 2: flush the erroneous pipeline.
@@ -457,7 +176,7 @@ impl UnsyncPair {
         let reg_copy = 2 * 64 * word_beats; // 64 registers out and back in
         let l1_copy = match self.ucfg.recovery_mode {
             crate::config::RecoveryMode::CopyL1 => {
-                mem.l1_copy_cost(mem.l1d(good).valid_lines() as u64)
+                mem.l1_copy_cost(mem.l1d(lane.core_base + good).valid_lines() as u64)
             }
             // Invalidate-only: no bulk transfer; the cost reappears as
             // demand misses after resume.
@@ -465,15 +184,15 @@ impl UnsyncPair {
         };
         // 4 & 5: in-flight CB drains complete; the erroneous CB is
         // overwritten from the error-free one.
-        cb.overwrite_from(good, flushed, mem);
+        self.cb.overwrite_from(good, flushed, mem);
         let recovery_end = flushed + reg_copy + l1_copy;
 
         // Functional recovery: the erroneous core receives the error-free
         // core's architectural state (and, via the CB overwrite, its
         // pending store values).
-        let good_state = arch[good].clone();
-        arch[bad].copy_from(&good_state);
-        for p in pending.iter_mut() {
+        let good_state = lane.arch[good].clone();
+        lane.arch[bad].copy_from(&good_state);
+        for p in lane.pending.iter_mut() {
             if p.present[good] {
                 p.value[bad] = p.value[good];
                 p.present[bad] = true;
@@ -485,32 +204,249 @@ impl UnsyncPair {
             }
         }
         // Newly matched stores commit architecturally.
-        pending.retain(|p| {
-            if p.present[0] && p.present[1] {
-                committed_mem.write(p.addr, p.value[good]);
-                false
-            } else {
-                true
-            }
-        });
+        lane.commit_matched_pending();
         match self.ucfg.recovery_mode {
             crate::config::RecoveryMode::CopyL1 => {
                 // The erroneous L1 was replaced wholesale by the copy.
-                let good_l1 = mem.l1d(good).clone();
-                *mem.l1d_mut(bad) = good_l1;
+                let good_l1 = mem.l1d(lane.core_base + good).clone();
+                *mem.l1d_mut(lane.core_base + bad) = good_l1;
             }
             crate::config::RecoveryMode::InvalidateOnly => {
-                mem.l1d_mut(bad).invalidate_all();
+                mem.l1d_mut(lane.core_base + bad).invalidate_all();
             }
         }
 
         // 6: both cores resume.
-        for e in engines.iter_mut() {
+        for e in lane.engines.iter_mut() {
             e.stall_until(recovery_end);
         }
-        out.recoveries += 1;
-        out.recovery_stall_cycles += recovery_end - now;
+        lane.events.emit(TraceEventKind::RecoveryStart);
+        lane.events
+            .emit_value(TraceEventKind::RecoveryEnd, recovery_end - now);
         recovery_end
+    }
+}
+
+impl RedundancyPolicy for UnsyncPolicy {
+    type Hooks = NullHooks;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn l1_write_policy(&self) -> WritePolicy {
+        self.l1_policy
+    }
+
+    fn hooks_mut(&mut self, core: usize) -> &mut NullHooks {
+        &mut self.hooks[core]
+    }
+
+    /// Under read-triggered detection, register-file strikes defer to
+    /// the struck register's next read (and become benign if the value
+    /// dies unread): rewrite their strike points up front.
+    fn prepare_faults(
+        &mut self,
+        insts: &[Inst],
+        mut faults: Vec<PairFault>,
+        events: &mut unsync_exec::EventStream,
+    ) -> Vec<PairFault> {
+        if self.ucfg.detection_timing != crate::config::DetectionTiming::OnFirstUse {
+            return faults;
+        }
+        faults.retain_mut(|f| {
+            if f.site.target != FaultTarget::RegisterFile {
+                return true;
+            }
+            let reg_idx = (f.site.bit_offset / 64) as usize % 64;
+            for inst in &insts[f.at as usize..] {
+                if inst.sources().any(|r| r.index() == reg_idx) {
+                    f.at = inst.seq;
+                    return true;
+                }
+                if inst.arch_dest().is_some_and(|d| d.index() == reg_idx) {
+                    break;
+                }
+            }
+            events.emit(TraceEventKind::BenignFault);
+            false
+        });
+        faults.sort_by_key(|f| f.at);
+        faults
+    }
+
+    /// Timing: the write-through copy enters this core's CB; the drain
+    /// discipline decides when a copy becomes architectural.
+    fn store_executed(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        core: usize,
+        seq: u64,
+        addr: u64,
+        _result: u64,
+        timing: InstTiming,
+    ) {
+        let line = addr / 64;
+        let done = self.cb.push(core, seq, line, timing.commit, mem);
+        if done > timing.commit {
+            lane.engines[core].backpressure_until(done);
+        }
+        match self.ucfg.drain_policy {
+            crate::cb::DrainPolicy::BothComplete => {
+                // Both sides present ⇒ one copy is architecturally
+                // committed (drain scheduled inside `push`).
+                if let Some(pos) = lane
+                    .pending
+                    .iter()
+                    .position(|p| p.seq == seq && p.present[0] && p.present[1])
+                {
+                    let p = lane.pending.remove(pos);
+                    lane.committed_mem.write(p.addr[0], p.value[0]);
+                }
+            }
+            crate::cb::DrainPolicy::Eager => {
+                // The FIRST copy already left for the L2. If the second
+                // copy disagrees, the disagreement is discovered too
+                // late: the wrong value may be architectural
+                // (silent-corruption window).
+                let p = *lane.pending.iter().find(|p| p.seq == seq).expect("pushed");
+                if !(p.present[0] && p.present[1]) {
+                    lane.committed_mem.write(p.addr[core], p.value[core]);
+                } else {
+                    if p.value[0] != p.value[1] {
+                        lane.events.emit(TraceEventKind::SilentFault);
+                    }
+                    lane.pending.retain(|q| q.seq != seq);
+                }
+            }
+        }
+    }
+
+    /// Faults striking this instruction: detection by the per-element
+    /// hardware blocks, then always-forward recovery.
+    fn after_instruction(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        inst: &Inst,
+        seq: u64,
+        faults: &[PairFault],
+        _first_attempt: bool,
+    ) {
+        for f in faults {
+            debug_assert_eq!(f.at, seq, "per-instruction segments");
+            let bad = f.core;
+            let good = bad ^ 1;
+
+            // Fig. 2 hazard: write-back L1, second strike hits the
+            // error-free core's L1 while its dirty lines are the only
+            // correct copy (a recovery is in flight sourcing from it).
+            if self.l1_policy == WritePolicy::WriteBack {
+                if let Some((window_end, source)) = self.recovery_window {
+                    let now = lane.now();
+                    let strikes_l1 =
+                        matches!(f.site.target, FaultTarget::L1Data | FaultTarget::L1Tag);
+                    if now <= window_end
+                        && bad == source
+                        && strikes_l1
+                        && mem.l1d(lane.core_base + source).dirty_lines() > 0
+                    {
+                        lane.events.emit(TraceEventKind::Detection);
+                        lane.events.emit(TraceEventKind::Unrecoverable);
+                        continue;
+                    }
+                }
+            }
+
+            // Eager-drain hazard: if the struck instruction was a store
+            // whose (corrupted) value already left for the L2 on the
+            // first push, detection fires too late — the wrong value is
+            // architectural. The paper's both-complete rule closes
+            // exactly this window.
+            if self.ucfg.drain_policy == crate::cb::DrainPolicy::Eager
+                && inst.op.is_store()
+                && bad == 0
+                && matches!(f.site.target, FaultTarget::Lsq | FaultTarget::L1Data)
+            {
+                let addr = inst.mem.expect("store").addr & !7;
+                let corrupt = lane.committed_mem.read(addr) ^ (1 << (f.site.bit_offset % 64));
+                lane.committed_mem.write(addr, corrupt);
+                lane.events.emit(TraceEventKind::SilentFault);
+            }
+
+            // Which mechanism guards the struck structure, given the
+            // configured L1 code (§III-B1 placement).
+            let mechanism = match f.site.target {
+                FaultTarget::Pc | FaultTarget::PipelineRegs => DetectionMechanism::Dmr,
+                FaultTarget::L1Data | FaultTarget::L1Tag => match self.ucfg.l1_protection {
+                    crate::config::L1Protection::LineParity => DetectionMechanism::Parity,
+                    crate::config::L1Protection::Secded => DetectionMechanism::Secded,
+                },
+                _ => DetectionMechanism::Parity,
+            };
+
+            // Adjacent double-bit upsets flip an even number of bits:
+            // invisible to 1-bit parity (the §VIII multi-bit hole),
+            // detected by DMR (any difference) and SECDED.
+            if f.kind == FaultKind::AdjacentDouble && mechanism == DetectionMechanism::Parity {
+                // Undetected: the corruption becomes architectural.
+                match f.site.target {
+                    FaultTarget::RegisterFile => {
+                        let reg = (f.site.bit_offset / 64) as usize % 64;
+                        let bit = (f.site.bit_offset % 63) as u32;
+                        let regs = lane.arch[bad].regs_mut();
+                        regs[reg] ^= 0b11 << bit;
+                    }
+                    _ => {
+                        // Data-array class: a stale line in memory.
+                        let addr = (f.site.bit_offset & !7) % (1 << 20);
+                        let v = lane.committed_mem.read(0x1000_0000 + addr);
+                        lane.committed_mem
+                            .write(0x1000_0000 + addr, v ^ (0b11 << (f.site.bit_offset % 63)));
+                    }
+                }
+                lane.events.emit(TraceEventKind::SilentFault);
+                continue;
+            }
+
+            // Single strikes on a SECDED L1 are corrected in place —
+            // no recovery, no stall beyond the codec.
+            if f.kind == FaultKind::Single && mechanism == DetectionMechanism::Secded {
+                lane.events.emit(TraceEventKind::Detection);
+                lane.events.emit(TraceEventKind::CorrectedInPlace);
+                continue;
+            }
+
+            // Apply the corruption to the struck core's state. (The
+            // recovery below erases it; modelling it keeps the
+            // correctness check honest.)
+            if f.site.target == FaultTarget::RegisterFile {
+                let reg = (f.site.bit_offset / 64) as usize % 64;
+                let bit = (f.site.bit_offset % 64) as u32;
+                lane.arch[bad].regs_mut()[reg] ^= 1 << bit;
+            }
+            for p in lane.pending.iter_mut() {
+                if f.site.target == FaultTarget::Lsq && p.present[bad] {
+                    p.value[bad] ^= 1 << (f.site.bit_offset % 64);
+                }
+            }
+
+            // Every strike is detected (full-coverage placement).
+            lane.events.emit(TraceEventKind::Detection);
+            let recovery_end = self.recover(mem, lane, bad);
+            self.recovery_window = Some((recovery_end, good));
+        }
+    }
+
+    fn finish(&mut self, _mem: &mut MemSystem, lane: &mut LaneState) {
+        lane.events
+            .emit_value(TraceEventKind::CbDrain, self.cb.drained);
+        lane.events.emit_value(
+            TraceEventKind::CbFullStall,
+            self.cb.stats[0].full_stall_cycles + self.cb.stats[1].full_stall_cycles,
+        );
     }
 }
 
@@ -544,9 +480,9 @@ mod tests {
     fn error_free_run_is_correct_and_complete() {
         let t = trace(3_000, 1);
         let out = pair().run(&t, &[]);
-        assert_eq!(out.committed, 3_000);
-        assert_eq!(out.detections, 0);
-        assert_eq!(out.recoveries, 0);
+        assert_eq!(out.core.committed, 3_000);
+        assert_eq!(out.core.detections, 0);
+        assert_eq!(out.core.recoveries, 0);
         assert!(out.correct(), "{out:?}");
         assert!(out.cb_drained > 0, "stores must drain through the CB");
     }
@@ -558,9 +494,9 @@ mod tests {
             let t = trace(2_000, 2);
             let faults = [fault(600 + k as u64, k % 2, target, 37 + k as u64)];
             let out = pair().run(&t, &faults);
-            assert_eq!(out.detections, 1, "{target:?}");
-            assert_eq!(out.recoveries, 1, "{target:?}");
-            assert_eq!(out.silent_faults, 0, "{target:?}");
+            assert_eq!(out.core.detections, 1, "{target:?}");
+            assert_eq!(out.core.recoveries, 1, "{target:?}");
+            assert_eq!(out.core.silent_faults, 0, "{target:?}");
             assert!(out.correct(), "{target:?}: {out:?}");
         }
     }
@@ -572,7 +508,7 @@ mod tests {
         let t = trace(2_000, 3);
         let faults = [fault(100, 1, FaultTarget::RegisterFile, 5 * 64 + 3)];
         let out = pair().run(&t, &faults);
-        assert_eq!(out.recoveries, 1);
+        assert_eq!(out.core.recoveries, 1);
         assert!(out.correct(), "{out:?}");
     }
 
@@ -585,12 +521,12 @@ mod tests {
         let faults = [fault(2_500, 0, FaultTarget::Lsq, 11)];
         let faulty = pair().run(&t, &faults);
         assert!(
-            faulty.cycles > clean.cycles + 1_000,
+            faulty.core.cycles > clean.core.cycles + 1_000,
             "{} vs {}",
-            faulty.cycles,
-            clean.cycles
+            faulty.core.cycles,
+            clean.core.cycles
         );
-        assert!(faulty.recovery_stall_cycles > 1_000);
+        assert!(faulty.core.recovery_stall_cycles > 1_000);
         assert!(faulty.correct());
     }
 
@@ -610,7 +546,7 @@ mod tests {
         );
         // Allow tiny scheduling perturbations; the stall comparison above
         // is the real invariant.
-        assert!(tiny.cycles as f64 >= large.cycles as f64 * 0.98);
+        assert!(tiny.core.cycles as f64 >= large.core.cycles as f64 * 0.98);
     }
 
     #[test]
@@ -624,13 +560,13 @@ mod tests {
         ];
         let wb = UnsyncPair::with_write_back_l1(CoreConfig::table1(), UnsyncConfig::default())
             .run(&t, &faults);
-        assert_eq!(wb.unrecoverable, 1, "{wb:?}");
+        assert_eq!(wb.core.unrecoverable, 1, "{wb:?}");
         assert!(!wb.correct());
         // The same double strike under write-through is just two
         // recoveries: the L2 always holds a correct copy.
         let wt = pair().run(&t, &faults);
-        assert_eq!(wt.unrecoverable, 0);
-        assert_eq!(wt.recoveries, 2);
+        assert_eq!(wt.core.unrecoverable, 0);
+        assert_eq!(wt.core.recoveries, 2);
         assert!(wt.correct(), "{wt:?}");
     }
 
@@ -643,7 +579,7 @@ mod tests {
         let base = run_baseline(CoreConfig::table1(), &mut stream);
         let t = WorkloadGen::new(Benchmark::Bzip2, 20_000, 7).collect_trace();
         let us = pair().run(&t, &[]);
-        let overhead = us.cycles as f64 / base.core.last_commit_cycle as f64 - 1.0;
+        let overhead = us.core.cycles as f64 / base.core.last_commit_cycle as f64 - 1.0;
         assert!(overhead < 0.10, "UnSync overhead on bzip2 = {overhead}");
     }
 
@@ -662,8 +598,8 @@ mod tests {
         };
         // The paper's 1-bit line parity: even flips are invisible.
         let parity = pair().run(&t, &[mbu]);
-        assert_eq!(parity.silent_faults, 1, "{parity:?}");
-        assert_eq!(parity.recoveries, 0);
+        assert_eq!(parity.core.silent_faults, 1, "{parity:?}");
+        assert_eq!(parity.core.recoveries, 0);
         assert!(!parity.correct());
         // The §VIII upgrade: SECDED detects the double and recovery runs.
         let cfg = UnsyncConfig {
@@ -671,8 +607,8 @@ mod tests {
             ..UnsyncConfig::paper_baseline()
         };
         let secded = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &[mbu]);
-        assert_eq!(secded.silent_faults, 0);
-        assert_eq!(secded.recoveries, 1);
+        assert_eq!(secded.core.silent_faults, 0);
+        assert_eq!(secded.core.recoveries, 1);
         assert!(secded.correct(), "{secded:?}");
         // And single strikes on SECDED are corrected in place for free.
         let single = PairFault {
@@ -681,7 +617,7 @@ mod tests {
         };
         let in_place = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &[single]);
         assert_eq!(in_place.corrected_in_place, 1);
-        assert_eq!(in_place.recoveries, 0);
+        assert_eq!(in_place.core.recoveries, 0);
         assert!(in_place.correct());
     }
 
@@ -703,7 +639,7 @@ mod tests {
         let mut cfg = UnsyncConfig::paper_baseline();
         cfg.drain_policy = crate::cb::DrainPolicy::Eager;
         let eager = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
-        assert!(eager.silent_faults > 0, "{eager:?}");
+        assert!(eager.core.silent_faults > 0, "{eager:?}");
         assert!(!eager.correct());
     }
 
@@ -772,11 +708,11 @@ mod tests {
         ];
         let out = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
         assert_eq!(out.benign_faults, 1, "{out:?}");
-        assert_eq!(out.recoveries, 1, "only the live strike recovers");
+        assert_eq!(out.core.recoveries, 1, "only the live strike recovers");
         assert!(out.correct(), "{out:?}");
         // Immediate timing charges both.
         let strict = pair().run(&t, &faults);
-        assert_eq!(strict.recoveries, 2);
+        assert_eq!(strict.core.recoveries, 2);
         assert!(strict.correct());
     }
 
@@ -791,10 +727,10 @@ mod tests {
         let inval = UnsyncPair::new(CoreConfig::table1(), cfg).run(&t, &faults);
         assert!(copy.correct() && inval.correct());
         assert!(
-            inval.recovery_stall_cycles < copy.recovery_stall_cycles,
+            inval.core.recovery_stall_cycles < copy.core.recovery_stall_cycles,
             "invalidate {} vs copy {}",
-            inval.recovery_stall_cycles,
-            copy.recovery_stall_cycles
+            inval.core.recovery_stall_cycles,
+            copy.core.recovery_stall_cycles
         );
     }
 

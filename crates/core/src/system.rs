@@ -5,25 +5,27 @@
 //!
 //! This runner measures what pairing does at the *system* level: each
 //! pair's CB drains and demand fills contend for the shared L2 (and its
-//! MSHRs) against the other pairs' traffic.
+//! MSHRs) against the other pairs' traffic. Execution routes through
+//! [`unsync_exec::RedundantDriver::run_system`], with one
+//! [`crate::pair::UnsyncPolicy`] lane per pair interleaved
+//! advance-the-laggard over the shared memory system.
 
 use serde::{Deserialize, Serialize};
+use unsync_exec::{OutcomeCore, RedundantDriver, TraceEventKind};
 use unsync_isa::TraceProgram;
-use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
-use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_mem::WritePolicy;
+use unsync_sim::CoreConfig;
 
-use crate::cb::PairedCb;
 use crate::config::UnsyncConfig;
+use crate::pair::UnsyncPolicy;
 
 /// Per-pair results of a system run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystemPairStats {
     /// Pair index.
     pub pair: usize,
-    /// Committed instructions.
-    pub committed: u64,
-    /// Cycles (slower core of the pair).
-    pub cycles: u64,
+    /// The counters all schemes share (committed, cycles, …).
+    pub core: OutcomeCore,
     /// Stores drained through the pair's CB.
     pub cb_drained: u64,
     /// Commit cycles lost to a full CB.
@@ -32,14 +34,10 @@ pub struct SystemPairStats {
     pub invalidations: u64,
 }
 
-impl SystemPairStats {
-    /// The pair's IPC.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+impl std::ops::Deref for SystemPairStats {
+    type Target = OutcomeCore;
+    fn deref(&self) -> &OutcomeCore {
+        &self.core
     }
 }
 
@@ -68,60 +66,22 @@ impl UnsyncSystem {
     /// Runs one trace per pair (error-free), all pairs sharing the L2.
     /// Pair `p` occupies cores `2p` and `2p+1`.
     pub fn run(&self, traces: &[TraceProgram]) -> SystemOutcome {
-        assert!(!traces.is_empty(), "at least one pair");
-        let pairs = traces.len();
-        let mut mem = MemSystem::new(
-            HierarchyConfig::table1(),
-            2 * pairs,
-            WritePolicy::WriteThrough,
-        );
-        let mut engines: Vec<[OooEngine; 2]> = (0..pairs)
+        let driver = RedundantDriver::new(self.ccfg);
+        let mut policies: Vec<UnsyncPolicy> = (0..traces.len())
             .map(|p| {
-                [
-                    OooEngine::new(self.ccfg, 2 * p),
-                    OooEngine::new(self.ccfg, 2 * p + 1),
-                ]
+                UnsyncPolicy::new("unsync_system", self.ucfg, WritePolicy::WriteThrough, 2 * p)
             })
             .collect();
-        let mut hooks = NullHooks;
-        let mut cbs: Vec<PairedCb> = (0..pairs)
-            .map(|p| PairedCb::for_cores(self.ucfg.cb_entries, self.ucfg.drain_policy, 2 * p))
-            .collect();
+        let (results, mem) = driver.run_system(&mut policies, traces);
 
-        // Interleave pairs in wall-clock order: always advance the pair
-        // whose cores are furthest behind, so requests reach the shared
-        // L2 (whose MSHR bookkeeping assumes roughly non-decreasing
-        // times) in realistic order even when one pair runs much faster
-        // than another.
-        let mut idx = vec![0usize; pairs];
-        loop {
-            let next = (0..pairs)
-                .filter(|&p| idx[p] < traces[p].len())
-                .min_by_key(|&p| engines[p][0].now().max(engines[p][1].now()));
-            let Some(p) = next else { break };
-            let inst = &traces[p].insts()[idx[p]];
-            let seq = idx[p] as u64;
-            for (side, engine) in engines[p].iter_mut().enumerate() {
-                let timing = engine.feed(inst, &mut mem, &mut hooks);
-                if inst.op.is_store() {
-                    let line = inst.mem.expect("store").addr / 64;
-                    let done = cbs[p].push(side, seq, line, timing.commit, &mut mem);
-                    if done > timing.commit {
-                        engine.backpressure_until(done);
-                    }
-                }
-            }
-            idx[p] += 1;
-        }
-
-        let stats = (0..pairs)
-            .map(|p| SystemPairStats {
+        let stats: Vec<SystemPairStats> = results
+            .iter()
+            .enumerate()
+            .map(|(p, r)| SystemPairStats {
                 pair: p,
-                committed: traces[p].len() as u64,
-                cycles: engines[p][0].now().max(engines[p][1].now()),
-                cb_drained: cbs[p].drained,
-                cb_full_stall_cycles: cbs[p].stats[0].full_stall_cycles
-                    + cbs[p].stats[1].full_stall_cycles,
+                core: r.out,
+                cb_drained: r.events.sum(TraceEventKind::CbDrain),
+                cb_full_stall_cycles: r.events.sum(TraceEventKind::CbFullStall),
                 invalidations: mem.invalidations(2 * p) + mem.invalidations(2 * p + 1),
             })
             .collect();
@@ -131,11 +91,9 @@ impl UnsyncSystem {
         };
 
         let m = unsync_sim::metrics::global();
-        m.counter("unsync_system.runs").inc();
         for p in &out.pairs {
             m.counter("unsync_system.pair_instructions")
-                .add(p.committed);
-            m.counter("unsync_system.cb_drained").add(p.cb_drained);
+                .add(p.core.committed);
             m.counter("unsync_system.invalidations")
                 .add(p.invalidations);
         }
@@ -154,7 +112,7 @@ mod tests {
         let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
         let out = sys.run(std::slice::from_ref(&t));
         assert_eq!(out.pairs.len(), 1);
-        assert_eq!(out.pairs[0].committed, 10_000);
+        assert_eq!(out.pairs[0].core.committed, 10_000);
         assert!(out.pairs[0].ipc() > 0.01);
     }
 
@@ -176,8 +134,8 @@ mod tests {
         let t = WorkloadGen::new_at(Benchmark::Equake, 15_000, 5, 0x1000_0000).collect_trace();
         let hog = WorkloadGen::new_at(Benchmark::Mcf, 15_000, 6, 0x9000_0000).collect_trace();
         let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
-        let alone = sys.run(std::slice::from_ref(&t)).pairs[0].cycles;
-        let contended = sys.run(&[t, hog]).pairs[0].cycles;
+        let alone = sys.run(std::slice::from_ref(&t)).pairs[0].core.cycles;
+        let contended = sys.run(&[t, hog]).pairs[0].core.cycles;
         assert!(
             contended >= alone,
             "shared-L2 contention cannot speed the pair up: {contended} vs {alone}"
@@ -210,9 +168,9 @@ mod tests {
         let long = WorkloadGen::new_at(Benchmark::Gzip, 9_000, 2, 0x9000_0000).collect_trace();
         let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
         let out = sys.run(&[short, long]);
-        assert_eq!(out.pairs[0].committed, 2_000);
-        assert_eq!(out.pairs[1].committed, 9_000);
-        assert!(out.pairs[1].cycles > out.pairs[0].cycles);
+        assert_eq!(out.pairs[0].core.committed, 2_000);
+        assert_eq!(out.pairs[1].core.committed, 9_000);
+        assert!(out.pairs[1].core.cycles > out.pairs[0].core.cycles);
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The shared execution driver.
+//!
+//! [`RedundantDriver`] owns everything the redundancy schemes used to
+//! hand-roll separately: engine construction over a shared
+//! [`MemSystem`], per-instruction per-replica interleaving, the
+//! functional layer ([`ArchState`] execution, pending-store tracking
+//! with cross-replica forwarding, committed memory), segment retry for
+//! rollback schemes, golden-run verification, and metrics publication.
+//! The scheme-specific 10 % is delegated to a [`RedundancyPolicy`].
+//!
+//! Two entry points:
+//! * [`RedundantDriver::run`] — one lane (a pair or N-way group)
+//!   executing one trace;
+//! * [`RedundantDriver::run_system`] — several lanes over one shared
+//!   memory system, interleaved advance-the-laggard (always step the
+//!   lane whose cores are furthest behind) so requests reach the
+//!   shared L2 in non-decreasing time order.
+
+use unsync_fault::PairFault;
+use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
+use unsync_mem::{HierarchyConfig, MemSystem};
+use unsync_sim::{CoreConfig, OooEngine};
+
+use crate::event::{EventStream, TraceEventKind};
+use crate::outcome::OutcomeCore;
+use crate::policy::{RedundancyPolicy, SegmentVerdict};
+
+/// One store executed but not yet architecturally committed, tracked
+/// per replica pair. `addr`/`value`/`present` are indexed by replica
+/// (replicas beyond the second manage agreement in their policy).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingStore {
+    /// The store instruction's sequence number.
+    pub seq: u64,
+    /// Word-aligned effective address per replica (they differ only
+    /// under address-translation faults).
+    pub addr: [u64; 2],
+    /// Store value per replica.
+    pub value: [u64; 2],
+    /// Which replicas have produced their copy.
+    pub present: [bool; 2],
+}
+
+/// The per-lane mutable state the driver threads through a run: the
+/// engines, the functional layer, the event stream, and the outcome
+/// being accumulated. Policies receive `&mut LaneState` in every
+/// callback.
+pub struct LaneState {
+    /// First global core index of this lane (lane `p` of an `n`-replica
+    /// system owns cores `p*n .. p*n + n`; single-lane runs start at 0).
+    pub core_base: usize,
+    /// One engine per replica (global core ids `core_base + i`).
+    pub engines: Vec<OooEngine>,
+    /// One architectural state per replica.
+    pub arch: Vec<ArchState>,
+    /// The lane's committed (agreed) memory image.
+    pub committed_mem: ArchMemory,
+    /// Stores executed but not yet committed (see [`PendingStore`]).
+    pub pending: Vec<PendingStore>,
+    /// The lane's structured trace-event stream.
+    pub events: EventStream,
+    /// The outcome counters being accumulated.
+    pub out: OutcomeCore,
+}
+
+impl LaneState {
+    fn new(ccfg: CoreConfig, replicas: usize, core_base: usize) -> Self {
+        LaneState {
+            core_base,
+            engines: (0..replicas)
+                .map(|c| OooEngine::new(ccfg, core_base + c))
+                .collect(),
+            arch: (0..replicas).map(|_| ArchState::new()).collect(),
+            committed_mem: ArchMemory::new(),
+            pending: Vec::new(),
+            events: EventStream::new(),
+            out: OutcomeCore::default(),
+        }
+    }
+
+    /// The lane's wall clock: the furthest-ahead replica's time.
+    pub fn now(&self) -> u64 {
+        self.engines.iter().map(|e| e.now()).max().unwrap_or(0)
+    }
+
+    /// Commits every pending store both replicas have produced (writes
+    /// replica 0's copy) and drops it from the pending set.
+    pub fn commit_matched_pending(&mut self) {
+        let LaneState {
+            pending,
+            committed_mem,
+            ..
+        } = self;
+        pending.retain(|p| {
+            if p.present[0] && p.present[1] {
+                committed_mem.write(p.addr[0], p.value[0]);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// The result of driving one lane to completion.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The shared outcome counters.
+    pub out: OutcomeCore,
+    /// The lane's trace-event stream (policies' outcome extensions are
+    /// derived from it).
+    pub events: EventStream,
+}
+
+/// The shared redundant-execution driver (see the [module docs]).
+///
+/// [module docs]: crate::driver
+pub struct RedundantDriver {
+    ccfg: CoreConfig,
+    hierarchy: HierarchyConfig,
+}
+
+impl RedundantDriver {
+    /// A driver building Table I machines from `ccfg`.
+    pub fn new(ccfg: CoreConfig) -> Self {
+        RedundantDriver {
+            ccfg,
+            hierarchy: HierarchyConfig::table1(),
+        }
+    }
+
+    /// Runs one lane over `trace` with the given fault schedule
+    /// (sorted by strike point).
+    pub fn run<P: RedundancyPolicy>(
+        &self,
+        policy: &mut P,
+        trace: &TraceProgram,
+        faults: &[PairFault],
+    ) -> RunResult {
+        assert!(
+            faults.windows(2).all(|w| w[0].at <= w[1].at),
+            "faults must be sorted"
+        );
+        let n = policy.replicas();
+        assert!(faults.iter().all(|f| f.core < n), "fault core out of range");
+        let golden = policy.verify_golden().then(|| golden_run(trace).1);
+        let mut mem = MemSystem::new(self.hierarchy, n, policy.l1_write_policy());
+        let mut lane = LaneState::new(self.ccfg, n, 0);
+        let insts = trace.insts();
+        let fault_list = policy.prepare_faults(insts, faults.to_vec(), &mut lane.events);
+        debug_assert!(
+            fault_list.windows(2).all(|w| w[0].at <= w[1].at),
+            "prepare_faults must keep the schedule sorted"
+        );
+        self.drive_lane(policy, &mut mem, &mut lane, insts, &fault_list);
+        unsync_sim::metrics::global()
+            .counter(&format!("{}.runs", policy.name()))
+            .inc();
+        self.finalize(policy, &mut mem, &mut lane, golden.as_ref());
+        RunResult {
+            out: lane.out,
+            events: lane.events,
+        }
+    }
+
+    /// Runs one per-instruction-policy lane per trace over a single
+    /// shared memory system (lane `p` on cores `p*n .. p*n + n`),
+    /// advance-the-laggard interleaved. Returns the lane results plus
+    /// the memory system for system-level statistics (L2 miss rate,
+    /// coherence invalidations).
+    pub fn run_system<P: RedundancyPolicy>(
+        &self,
+        policies: &mut [P],
+        traces: &[TraceProgram],
+    ) -> (Vec<RunResult>, MemSystem) {
+        assert!(!traces.is_empty(), "at least one pair");
+        assert_eq!(policies.len(), traces.len(), "one policy per lane");
+        let lanes = traces.len();
+        let n = policies[0].replicas();
+        let mut mem = MemSystem::new(self.hierarchy, lanes * n, policies[0].l1_write_policy());
+        let mut lane_states: Vec<LaneState> = (0..lanes)
+            .map(|p| LaneState::new(self.ccfg, n, p * n))
+            .collect();
+        let goldens: Vec<Option<ArchMemory>> = traces
+            .iter()
+            .zip(policies.iter())
+            .map(|(t, pol)| pol.verify_golden().then(|| golden_run(t).1))
+            .collect();
+
+        // Always advance the lane whose cores are furthest behind, so
+        // requests reach the shared L2 (whose MSHR bookkeeping assumes
+        // roughly non-decreasing times) in realistic order even when
+        // one lane runs much faster than another.
+        let mut idx = vec![0usize; lanes];
+        loop {
+            let next = (0..lanes)
+                .filter(|&p| idx[p] < traces[p].len())
+                .min_by_key(|&p| lane_states[p].now());
+            let Some(p) = next else { break };
+            let inst = &traces[p].insts()[idx[p]];
+            let seq = idx[p] as u64;
+            self.step(
+                &mut policies[p],
+                &mut mem,
+                &mut lane_states[p],
+                inst,
+                seq,
+                &[],
+                true,
+            );
+            policies[p].after_instruction(&mut mem, &mut lane_states[p], inst, seq, &[], true);
+            lane_states[p].out.committed += 1;
+            idx[p] += 1;
+        }
+
+        if let Some(first) = policies.first() {
+            unsync_sim::metrics::global()
+                .counter(&format!("{}.runs", first.name()))
+                .inc();
+        }
+        let mut results = Vec::with_capacity(lanes);
+        for (p, mut lane) in lane_states.into_iter().enumerate() {
+            self.finalize(&mut policies[p], &mut mem, &mut lane, goldens[p].as_ref());
+            results.push(RunResult {
+                out: lane.out,
+                events: lane.events,
+            });
+        }
+        (results, mem)
+    }
+
+    /// The segment loop for one lane over a full trace.
+    fn drive_lane<P: RedundancyPolicy>(
+        &self,
+        policy: &mut P,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        insts: &[Inst],
+        faults: &[PairFault],
+    ) {
+        let mut next_fault = 0usize;
+        let mut start = 0usize;
+        while start < insts.len() {
+            let end = policy.segment_end(insts, start);
+            debug_assert!(start < end && end <= insts.len(), "bad segment bounds");
+            // Faults striking inside this segment (consumed on the
+            // first attempt only — single-event upsets are transient;
+            // only their *state* effects persist across retries).
+            let lo = next_fault;
+            while next_fault < faults.len() && faults[next_fault].at < end as u64 {
+                debug_assert!(faults[next_fault].at >= start as u64);
+                next_fault += 1;
+            }
+            let seg_faults = &faults[lo..next_fault];
+
+            let snapshot: Option<Vec<ArchState>> = policy.rolls_back().then(|| lane.arch.clone());
+            let mut attempt = 0u32;
+            loop {
+                if policy.rolls_back() {
+                    lane.pending.clear();
+                }
+                policy.begin_attempt(lane, attempt);
+                for (k, inst) in insts[start..end].iter().enumerate() {
+                    let seq = (start + k) as u64;
+                    self.step(policy, mem, lane, inst, seq, seg_faults, attempt == 0);
+                    policy.after_instruction(mem, lane, inst, seq, seg_faults, attempt == 0);
+                }
+                match policy.end_segment(mem, lane, insts, start, end, attempt) {
+                    SegmentVerdict::Commit | SegmentVerdict::Abandon => {
+                        if policy.rolls_back() {
+                            // Verified (or abandoned): release one
+                            // instance of each store.
+                            for p in lane.pending.drain(..) {
+                                lane.committed_mem.write(p.addr[0], p.value[0]);
+                            }
+                        }
+                        lane.out.committed += (end - start) as u64;
+                        break;
+                    }
+                    SegmentVerdict::Retry => {
+                        attempt += 1;
+                        if let Some(snap) = &snapshot {
+                            for (a, s) in lane.arch.iter_mut().zip(snap.iter()) {
+                                a.copy_from(s);
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// One instruction across every replica of one lane: engine feed,
+    /// then the functional layer with the policy's transforms.
+    #[allow(clippy::too_many_arguments)]
+    fn step<P: RedundancyPolicy>(
+        &self,
+        policy: &mut P,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        inst: &Inst,
+        seq: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) {
+        for core in 0..lane.engines.len() {
+            let timing = lane.engines[core].feed(inst, mem, policy.hooks_mut(core));
+
+            policy.pre_execute(lane, inst, core, seq, faults, first_attempt);
+            let raw = inst.mem.map(|m| m.addr).unwrap_or(0);
+            let addr = policy.effective_addr(lane, inst, core, seq, raw, faults, first_attempt);
+            // Load value: own pending stores first (store forwarding),
+            // then committed memory.
+            let loaded = if inst.op.is_load() {
+                let fwd = if policy.uses_pending() {
+                    lane.pending
+                        .iter()
+                        .rev()
+                        .find(|p| p.present[core] && p.addr[core] == (addr & !7))
+                        .map(|p| p.value[core])
+                } else {
+                    None
+                };
+                let v = fwd.unwrap_or_else(|| lane.committed_mem.read(addr));
+                Some(policy.transform_load(lane, inst, core, seq, v, first_attempt))
+            } else {
+                None
+            };
+            let mut result = lane.arch[core].compute(inst, loaded);
+            result = policy.transform_result(lane, inst, core, seq, result, faults, first_attempt);
+            if inst.op.is_store() {
+                if policy.uses_pending() {
+                    match lane.pending.iter_mut().find(|p| p.seq == seq) {
+                        Some(p) => {
+                            p.addr[core] = addr & !7;
+                            p.value[core] = result;
+                            p.present[core] = true;
+                        }
+                        None => {
+                            let mut p = PendingStore {
+                                seq,
+                                addr: [addr & !7; 2],
+                                value: [result; 2],
+                                present: [false; 2],
+                            };
+                            p.present[core] = true;
+                            lane.pending.push(p);
+                        }
+                    }
+                }
+                policy.store_executed(mem, lane, inst, core, seq, addr, result, timing);
+            }
+            if let Some(d) = inst.arch_dest() {
+                lane.arch[core].write(d, result);
+            }
+            policy.executed(lane, inst, core, seq, result);
+        }
+    }
+
+    /// Finalization for one lane: clock, policy epilogue, counter
+    /// derivation from the event stream, golden verification, metrics.
+    fn finalize<P: RedundancyPolicy>(
+        &self,
+        policy: &mut P,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        golden: Option<&ArchMemory>,
+    ) {
+        lane.out.cycles = lane.now();
+        policy.finish(mem, lane);
+
+        lane.out.detections = lane.events.count(TraceEventKind::Detection);
+        lane.out.recoveries = lane.events.count(TraceEventKind::RecoveryEnd);
+        lane.out.recovery_stall_cycles = lane.events.sum(TraceEventKind::RecoveryEnd);
+        lane.out.unrecoverable = lane.events.count(TraceEventKind::Unrecoverable);
+        lane.out.silent_faults = lane.events.count(TraceEventKind::SilentFault);
+
+        if let Some(g) = golden {
+            let recoverable = !policy.golden_requires_recoverable() || lane.out.unrecoverable == 0;
+            lane.out.memory_matches_golden = recoverable
+                && g.iter()
+                    .all(|(addr, val)| lane.committed_mem.read(addr) == val);
+        }
+
+        // Publish run aggregates once per run (never per instruction —
+        // the lane loop is the hot path).
+        let m = unsync_sim::metrics::global();
+        let name = policy.name();
+        m.counter(&format!("{name}.instructions"))
+            .add(lane.out.committed);
+        m.counter(&format!("{name}.cycles")).add(lane.out.cycles);
+        lane.events.publish(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_sim::NullHooks;
+    use unsync_workloads::{Benchmark, WorkloadGen};
+
+    /// The minimal policy: plain duplex execution, no detection, no
+    /// recovery — exactly the "new redundancy scheme" recipe floor.
+    struct MinimalDuplex {
+        hooks: [NullHooks; 2],
+    }
+
+    impl RedundancyPolicy for MinimalDuplex {
+        type Hooks = NullHooks;
+
+        fn name(&self) -> &'static str {
+            "minimal_duplex"
+        }
+
+        fn hooks_mut(&mut self, core: usize) -> &mut NullHooks {
+            &mut self.hooks[core]
+        }
+
+        fn after_instruction(
+            &mut self,
+            _mem: &mut MemSystem,
+            lane: &mut LaneState,
+            _inst: &Inst,
+            _seq: u64,
+            _faults: &[PairFault],
+            _first_attempt: bool,
+        ) {
+            lane.commit_matched_pending();
+        }
+    }
+
+    #[test]
+    fn minimal_policy_is_a_complete_scheme() {
+        let t = WorkloadGen::new(Benchmark::Gzip, 2_000, 3).collect_trace();
+        let driver = RedundantDriver::new(CoreConfig::table1());
+        let mut policy = MinimalDuplex {
+            hooks: [NullHooks, NullHooks],
+        };
+        let res = driver.run(&mut policy, &t, &[]);
+        assert_eq!(res.out.committed, 2_000);
+        assert!(res.out.cycles > 0);
+        assert!(res.out.correct(), "{:?}", res.out);
+    }
+
+    #[test]
+    fn driver_runs_are_deterministic() {
+        let t = WorkloadGen::new(Benchmark::Qsort, 1_500, 9).collect_trace();
+        let driver = RedundantDriver::new(CoreConfig::table1());
+        let run = || {
+            let mut policy = MinimalDuplex {
+                hooks: [NullHooks, NullHooks],
+            };
+            driver.run(&mut policy, &t, &[])
+        };
+        assert_eq!(run().out, run().out);
+    }
+
+    #[test]
+    #[should_panic(expected = "faults must be sorted")]
+    fn unsorted_faults_rejected() {
+        use unsync_fault::{FaultKind, FaultSite, FaultTarget};
+        let t = WorkloadGen::new(Benchmark::Gzip, 100, 1).collect_trace();
+        let f = |at| PairFault {
+            at,
+            core: 0,
+            site: FaultSite {
+                target: FaultTarget::Rob,
+                bit_offset: 1,
+            },
+            kind: FaultKind::Single,
+        };
+        let driver = RedundantDriver::new(CoreConfig::table1());
+        let mut policy = MinimalDuplex {
+            hooks: [NullHooks, NullHooks],
+        };
+        let _ = driver.run(&mut policy, &t, &[f(50), f(10)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The structured trace-event stream.
+//!
+//! Policies emit [`TraceEvent`]s as detection/recovery/compare activity
+//! happens; the driver aggregates them into [`OutcomeCore`] counters
+//! and publishes them to `unsync_sim::metrics` once per run (never per
+//! instruction — the execution loop is the hot path, so the stream is
+//! plain per-kind accumulators plus a short ring of recent events).
+//!
+//! [`OutcomeCore`]: crate::OutcomeCore
+
+/// How many recent events the stream retains for inspection.
+const RECENT_CAP: usize = 64;
+
+/// One kind of trace event a redundancy scheme can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum TraceEventKind {
+    /// An error was detected (hardware block or fingerprint mismatch).
+    Detection,
+    /// A recovery procedure began.
+    RecoveryStart,
+    /// A recovery procedure completed; the value is the stall it cost.
+    RecoveryEnd,
+    /// A rollback re-execution was initiated.
+    Rollback,
+    /// A fingerprint comparison matched.
+    FingerprintMatch,
+    /// A fingerprint comparison mismatched.
+    FingerprintMismatch,
+    /// Entries drained through a communication buffer; the value is the
+    /// drain count.
+    CbDrain,
+    /// Commit cycles lost to a full communication buffer (value).
+    CbFullStall,
+    /// A fault escaped detection entirely.
+    SilentFault,
+    /// A strike on a dead value that never needed detection.
+    BenignFault,
+    /// A strike corrected in place (ECC) — no pair-level recovery.
+    CorrectedInPlace,
+    /// A load observed an incoherent value under relaxed replication.
+    IncoherentLoad,
+    /// An event the scheme could not recover from.
+    Unrecoverable,
+    /// Cycles lost re-synchronizing a lockstepped pair (value).
+    CouplingStall,
+}
+
+/// Every kind, in `repr` order (indexes the accumulator arrays).
+const KINDS: [TraceEventKind; 14] = [
+    TraceEventKind::Detection,
+    TraceEventKind::RecoveryStart,
+    TraceEventKind::RecoveryEnd,
+    TraceEventKind::Rollback,
+    TraceEventKind::FingerprintMatch,
+    TraceEventKind::FingerprintMismatch,
+    TraceEventKind::CbDrain,
+    TraceEventKind::CbFullStall,
+    TraceEventKind::SilentFault,
+    TraceEventKind::BenignFault,
+    TraceEventKind::CorrectedInPlace,
+    TraceEventKind::IncoherentLoad,
+    TraceEventKind::Unrecoverable,
+    TraceEventKind::CouplingStall,
+];
+
+impl TraceEventKind {
+    /// The metric-name suffix this kind publishes under
+    /// (`<scheme>.<suffix>` in the registry).
+    pub fn metric_suffix(self) -> &'static str {
+        match self {
+            TraceEventKind::Detection => "detections",
+            TraceEventKind::RecoveryStart => "recovery_starts",
+            TraceEventKind::RecoveryEnd => "recoveries",
+            TraceEventKind::Rollback => "rollbacks",
+            TraceEventKind::FingerprintMatch => "fingerprint_matches",
+            TraceEventKind::FingerprintMismatch => "mismatches",
+            TraceEventKind::CbDrain => "cb_drained",
+            TraceEventKind::CbFullStall => "cb_full_stall_cycles",
+            TraceEventKind::SilentFault => "silent_faults",
+            TraceEventKind::BenignFault => "benign_faults",
+            TraceEventKind::CorrectedInPlace => "corrected_in_place",
+            TraceEventKind::IncoherentLoad => "incoherent_loads",
+            TraceEventKind::Unrecoverable => "unrecoverable",
+            TraceEventKind::CouplingStall => "coupling_stall_cycles",
+        }
+    }
+
+    /// Whether the metric publishes the summed values (`CbDrain`,
+    /// stall-cycle kinds) rather than the occurrence count.
+    pub fn publishes_sum(self) -> bool {
+        matches!(
+            self,
+            TraceEventKind::CbDrain | TraceEventKind::CbFullStall | TraceEventKind::CouplingStall
+        )
+    }
+}
+
+/// One emitted event: the kind plus its value payload (a stall length,
+/// a drain count — `0` for pure occurrences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// The event's value payload (kind-specific; `0` for occurrences).
+    pub value: u64,
+}
+
+/// Per-kind accumulators plus a bounded ring of the most recent events.
+#[derive(Debug, Clone, Default)]
+pub struct EventStream {
+    counts: [u64; KINDS.len()],
+    sums: [u64; KINDS.len()],
+    recent: Vec<TraceEvent>,
+    next: usize,
+}
+
+impl EventStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an occurrence of `kind`.
+    pub fn emit(&mut self, kind: TraceEventKind) {
+        self.emit_value(kind, 0);
+    }
+
+    /// Records an occurrence of `kind` carrying `value` (a stall
+    /// length, a drain count, …).
+    pub fn emit_value(&mut self, kind: TraceEventKind, value: u64) {
+        let k = kind as usize;
+        self.counts[k] += 1;
+        self.sums[k] += value;
+        let ev = TraceEvent { kind, value };
+        if self.recent.len() < RECENT_CAP {
+            self.recent.push(ev);
+        } else {
+            self.recent[self.next] = ev;
+            self.next = (self.next + 1) % RECENT_CAP;
+        }
+    }
+
+    /// How many events of `kind` were emitted.
+    pub fn count(&self, kind: TraceEventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// The summed value payloads of `kind`.
+    pub fn sum(&self, kind: TraceEventKind) -> u64 {
+        self.sums[kind as usize]
+    }
+
+    /// The most recent events, oldest first (bounded ring).
+    pub fn recent(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.recent.split_at(self.next.min(self.recent.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// Publishes every non-zero kind to the metrics registry under
+    /// `<scheme>.<suffix>`.
+    pub fn publish(&self, scheme: &str) {
+        let m = unsync_sim::metrics::global();
+        for kind in KINDS {
+            let k = kind as usize;
+            if self.counts[k] == 0 {
+                continue;
+            }
+            let v = if kind.publishes_sum() {
+                self.sums[k]
+            } else {
+                self.counts[k]
+            };
+            m.counter(&format!("{scheme}.{}", kind.metric_suffix()))
+                .add(v);
+        }
+        // Recoveries publish both the count (above) and the stall total.
+        let stall = self.sum(TraceEventKind::RecoveryEnd);
+        if stall > 0 {
+            m.counter(&format!("{scheme}.recovery_stall_cycles"))
+                .add(stall);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # unsync-exec
+//!
+//! The shared redundant-execution substrate every scheme in this
+//! workspace routes through. A redundancy scheme — UnSync, Reunion,
+//! lockstep, an N-way group, a multi-pair system — is ~90 % identical
+//! machinery: interleave `N` [`unsync_sim::OooEngine`]s over one shared
+//! [`unsync_mem::MemSystem`], execute the program functionally on each
+//! replica ([`unsync_isa::ArchState`] + [`unsync_isa::ArchMemory`]),
+//! apply injected faults, track committed stores, and verify the final
+//! memory image against [`unsync_isa::golden_run`]. What *differs* is
+//! the detection/compare/recovery discipline.
+//!
+//! This crate owns the identical 90 %:
+//!
+//! * [`RedundantDriver`] — the execution loop (segment collection,
+//!   per-instruction per-replica feed + functional execution, retry on
+//!   rollback, finalization, golden comparison, metrics publication);
+//! * [`RedundancyPolicy`] — the plug-in point for the differing 10 %:
+//!   detection events, compare points, and the recovery procedure
+//!   (always-forward for UnSync, rollback for Reunion, cycle-compare
+//!   for lockstep);
+//! * [`OutcomeCore`] — the counters all schemes share (`committed`,
+//!   `cycles`, `detections`, `recoveries`, …) with the one true
+//!   [`OutcomeCore::ipc`] / [`OutcomeCore::correct`] implementation;
+//! * [`EventStream`] — a structured trace-event stream (detection,
+//!   recovery start/end, CB drain, fingerprint compare, …) the driver
+//!   routes into `unsync_sim::metrics`, so every scheme gets the
+//!   observability the hand-rolled runners used to implement one-off.
+//!
+//! Adding a new scheme is implementing [`RedundancyPolicy`] plus a
+//! small outcome extension — no interleaving, forwarding, or golden
+//! comparison code. See `ARCHITECTURE.md` ("Where to add things") for
+//! the recipe, and this crate's tests for a minimal worked example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod event;
+pub mod outcome;
+pub mod policy;
+
+pub use driver::{LaneState, PendingStore, RedundantDriver, RunResult};
+pub use event::{EventStream, TraceEvent, TraceEventKind};
+pub use outcome::OutcomeCore;
+pub use policy::{RedundancyPolicy, SegmentVerdict};

@@ -1,0 +1,270 @@
+//! The plug-in point that makes a redundancy scheme.
+//!
+//! [`RedundancyPolicy`] captures everything that *differs* between
+//! UnSync, Reunion, lockstep, and N-way groups: which hooks drive the
+//! engines' timing, where compare points sit (per instruction, per
+//! fingerprint interval, per lockstep window), how faults perturb the
+//! functional stream, and what recovery does (always-forward copy,
+//! rollback, abandon). Everything the schemes *share* lives in
+//! [`crate::RedundantDriver`], which calls these methods at fixed
+//! points of its loop.
+//!
+//! All callbacks default to "do nothing": a minimal policy is just
+//! `name` + `hooks_mut`, and yields plain unchecked redundant
+//! execution with golden verification.
+
+use unsync_fault::PairFault;
+use unsync_isa::Inst;
+use unsync_mem::{MemSystem, WritePolicy};
+use unsync_sim::{CoreHooks, InstTiming};
+
+use crate::driver::LaneState;
+use crate::event::EventStream;
+
+/// What the policy decided at a segment boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentVerdict {
+    /// The segment verified (or needs no verification): commit its
+    /// pending stores and move on.
+    Commit,
+    /// The segment mismatched: the driver restores the architectural
+    /// snapshot and re-executes it (the policy has already applied the
+    /// timing cost — flush, penalty).
+    Retry,
+    /// The segment cannot converge: commit what exists and move on —
+    /// the policy has already recorded the unrecoverable event and
+    /// repaired enough state for the run to proceed.
+    Abandon,
+}
+
+/// One redundancy scheme, plugged into [`crate::RedundantDriver`].
+///
+/// Callback order per segment `[start, end)`:
+///
+/// 1. [`segment_end`] picks `end` (default: single instruction);
+/// 2. [`begin_attempt`], then per instruction and per replica:
+///    engine `feed` (with [`hooks_mut`]), [`pre_execute`],
+///    [`effective_addr`], load (pending-store forwarding →
+///    committed memory) + [`transform_load`], compute,
+///    [`transform_result`], store bookkeeping + [`store_executed`],
+///    writeback, [`executed`];
+/// 3. [`after_instruction`] once per instruction (all replicas done);
+/// 4. [`end_segment`] returns a [`SegmentVerdict`]; on `Retry` the
+///    driver restores the snapshot and repeats from 2.
+///
+/// After the trace: the driver sets `cycles`, calls [`finish`] (which
+/// may emit final events or substitute the scheme's own clock), folds
+/// the event stream into [`crate::OutcomeCore`], verifies the golden
+/// image, and publishes metrics under [`name`].
+///
+/// [`segment_end`]: RedundancyPolicy::segment_end
+/// [`begin_attempt`]: RedundancyPolicy::begin_attempt
+/// [`hooks_mut`]: RedundancyPolicy::hooks_mut
+/// [`pre_execute`]: RedundancyPolicy::pre_execute
+/// [`effective_addr`]: RedundancyPolicy::effective_addr
+/// [`transform_load`]: RedundancyPolicy::transform_load
+/// [`transform_result`]: RedundancyPolicy::transform_result
+/// [`store_executed`]: RedundancyPolicy::store_executed
+/// [`executed`]: RedundancyPolicy::executed
+/// [`after_instruction`]: RedundancyPolicy::after_instruction
+/// [`end_segment`]: RedundancyPolicy::end_segment
+/// [`finish`]: RedundancyPolicy::finish
+/// [`name`]: RedundancyPolicy::name
+#[allow(clippy::too_many_arguments)]
+pub trait RedundancyPolicy {
+    /// The [`CoreHooks`] implementation timing this scheme's engines.
+    type Hooks: CoreHooks;
+
+    /// The scheme's metric prefix (e.g. `"unsync_pair"`).
+    fn name(&self) -> &'static str;
+
+    /// Redundancy degree (engines/replicas per lane).
+    fn replicas(&self) -> usize {
+        2
+    }
+
+    /// The L1 write policy (the paper requires write-through; the
+    /// Fig. 2 ablation overrides to write-back).
+    fn l1_write_policy(&self) -> WritePolicy {
+        WritePolicy::WriteThrough
+    }
+
+    /// Whether the driver verifies the final memory image against the
+    /// golden run.
+    fn verify_golden(&self) -> bool {
+        true
+    }
+
+    /// Whether an unrecoverable event forces `memory_matches_golden`
+    /// to `false` even when the image happens to match (UnSync's
+    /// write-back hazard is not functionally modelled; Reunion's
+    /// abandoned intervals are, so it reports the honest comparison).
+    fn golden_requires_recoverable(&self) -> bool {
+        true
+    }
+
+    /// Whether the driver tracks per-store pending entries with
+    /// cross-replica forwarding (N-way groups manage their own store
+    /// agreement and opt out).
+    fn uses_pending(&self) -> bool {
+        true
+    }
+
+    /// Whether mismatched segments are re-executed from a snapshot
+    /// (Reunion). Enables snapshotting and per-attempt pending resets.
+    fn rolls_back(&self) -> bool {
+        false
+    }
+
+    /// The hooks instance driving replica `core`'s engine.
+    fn hooks_mut(&mut self, core: usize) -> &mut Self::Hooks;
+
+    /// Rewrites the fault schedule before execution (e.g. UnSync's
+    /// read-triggered detection moves register-file strikes to the
+    /// struck register's next read, dropping dead-value strikes).
+    /// Returns the list sorted by strike point.
+    fn prepare_faults(
+        &mut self,
+        insts: &[Inst],
+        faults: Vec<PairFault>,
+        events: &mut EventStream,
+    ) -> Vec<PairFault> {
+        let _ = (insts, events);
+        faults
+    }
+
+    /// The exclusive end of the segment starting at `start` (default:
+    /// one instruction; Reunion returns the fingerprint-interval or
+    /// serializing cut).
+    fn segment_end(&self, insts: &[Inst], start: usize) -> usize {
+        let _ = insts;
+        start + 1
+    }
+
+    /// Called before each execution attempt of a segment (reset
+    /// per-attempt state such as fingerprints).
+    fn begin_attempt(&mut self, lane: &mut LaneState, attempt: u32) {
+        let _ = (lane, attempt);
+    }
+
+    /// Called before functional execution of `inst` on `core` (apply
+    /// persistent pre-execution faults).
+    fn pre_execute(
+        &mut self,
+        lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) {
+        let _ = (lane, inst, core, seq, faults, first_attempt);
+    }
+
+    /// The effective memory address this replica uses (a TLB strike on
+    /// a store mistranslates it).
+    fn effective_addr(
+        &mut self,
+        lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        addr: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) -> u64 {
+        let _ = (lane, inst, core, seq, faults, first_attempt);
+        addr
+    }
+
+    /// Transforms a loaded value (input incoherence under relaxed
+    /// replication).
+    fn transform_load(
+        &mut self,
+        lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        value: u64,
+        first_attempt: bool,
+    ) -> u64 {
+        let _ = (lane, inst, core, seq, first_attempt);
+        value
+    }
+
+    /// Transforms a computed result (transient in-pipeline faults).
+    fn transform_result(
+        &mut self,
+        lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        result: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) -> u64 {
+        let _ = (lane, inst, core, seq, faults, first_attempt);
+        result
+    }
+
+    /// Called when replica `core` executed a store (after the driver's
+    /// pending-store bookkeeping): push communication buffers, apply
+    /// back-pressure, commit agreed values per the drain discipline.
+    fn store_executed(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        addr: u64,
+        result: u64,
+        timing: InstTiming,
+    ) {
+        let _ = (mem, lane, inst, core, seq, addr, result, timing);
+    }
+
+    /// Called after replica `core` fully executed `inst` (fold results
+    /// into fingerprints).
+    fn executed(&mut self, lane: &mut LaneState, inst: &Inst, core: usize, seq: u64, result: u64) {
+        let _ = (lane, inst, core, seq, result);
+    }
+
+    /// Called once per instruction after every replica executed it:
+    /// per-instruction detection/recovery (UnSync, groups), window
+    /// re-synchronization (lockstep), store agreement (groups).
+    fn after_instruction(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        inst: &Inst,
+        seq: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) {
+        let _ = (mem, lane, inst, seq, faults, first_attempt);
+    }
+
+    /// Called at the segment boundary: compare points live here
+    /// (fingerprint exchange, rendezvous for serializing cuts) and the
+    /// verdict drives commit / rollback / abandon.
+    fn end_segment(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        insts: &[Inst],
+        start: usize,
+        end: usize,
+        attempt: u32,
+    ) -> SegmentVerdict {
+        let _ = (mem, lane, insts, start, end, attempt);
+        SegmentVerdict::Commit
+    }
+
+    /// Called after the trace completes, before counters are derived
+    /// and published: emit final events (CB totals, coupling stalls)
+    /// or substitute the scheme's own clock into `lane.out.cycles`.
+    fn finish(&mut self, mem: &mut MemSystem, lane: &mut LaneState) {
+        let _ = (mem, lane);
+    }
+}

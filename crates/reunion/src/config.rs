@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReunionConfig {
     /// Fingerprint interval: instructions summarized per fingerprint
-    /// (paper baseline: 10 — "the minimum indicated in [8]", §IV-3).
+    /// (paper baseline: 10 — "the minimum indicated in \[8\]", §IV-3).
     pub fingerprint_interval: u32,
     /// Comparison latency: cycles to generate, transfer and compare a
     /// fingerprint between cores (§IV-3 assumes a minimum of 6 cycles on

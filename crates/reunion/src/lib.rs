@@ -42,6 +42,6 @@ pub mod pair;
 pub use checkpoint::{checkpoint_error_cost, CheckpointConfig, CheckpointHooks};
 pub use config::ReunionConfig;
 pub use hooks::ReunionHooks;
-pub use lockstep::{LockstepOutcome, LockstepPair};
-pub use pair::{PairOutcome, ReunionPair};
+pub use lockstep::{LockstepOutcome, LockstepPair, LockstepPolicy};
+pub use pair::{PairOutcome, ReunionPair, ReunionPolicy};
 pub use unsync_fault::PairFault;

@@ -10,31 +10,32 @@
 //! by both. "While conceptually simple, lock-step becomes an increasing
 //! burden as device scaling continues" — this model quantifies that
 //! burden against UnSync's fully decoupled pair.
+//!
+//! Execution routes through the shared [`unsync_exec::RedundantDriver`];
+//! [`LockstepPolicy`] contributes only the window re-synchronization
+//! arithmetic and substitutes the locked retirement clock for the
+//! decoupled one in [`unsync_exec::RedundancyPolicy::finish`].
 
 use serde::{Deserialize, Serialize};
-use unsync_isa::TraceProgram;
-use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
-use unsync_sim::{CoreConfig, NullHooks, OooEngine};
+use unsync_exec::{LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, TraceEventKind};
+use unsync_isa::{Inst, TraceProgram};
+use unsync_mem::MemSystem;
+use unsync_sim::{CoreConfig, NullHooks};
 
 /// Outcome of a lockstep pair run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LockstepOutcome {
-    /// Committed instructions.
-    pub committed: u64,
-    /// Total cycles.
-    pub cycles: u64,
+    /// The counters all schemes share (committed, cycles, …). `cycles`
+    /// is the *locked* retirement clock.
+    pub core: OutcomeCore,
     /// Cycles lost re-synchronizing the momentarily faster core.
     pub coupling_stall_cycles: u64,
 }
 
-impl LockstepOutcome {
-    /// Instructions per cycle of the pair.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+impl std::ops::Deref for LockstepOutcome {
+    type Target = OutcomeCore;
+    fn deref(&self) -> &OutcomeCore {
+        &self.core
     }
 }
 
@@ -56,48 +57,98 @@ impl LockstepPair {
     /// immediate replay and is not the interesting axis here).
     pub fn run(&self, trace: &TraceProgram) -> LockstepOutcome {
         assert!(self.window >= 1);
-        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
-        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
-        let mut hooks = [NullHooks, NullHooks];
-        let mut coupling = 0u64;
-        // Lockstep's retirement clock advances by the *slower* core's
-        // per-window commit delta: the pair pays every hiccup of either
-        // core, while a decoupled pair pays only max(total_A, total_B).
-        let mut locked_clock = 0u64;
-        let mut prev = [0u64; 2];
-        for (i, inst) in trace.insts().iter().enumerate() {
-            for core in 0..2 {
-                engines[core].feed(inst, &mut mem, &mut hooks[core]);
-            }
-            if (i as u64 + 1).is_multiple_of(self.window) {
-                let d0 = engines[0].now() - prev[0];
-                let d1 = engines[1].now() - prev[1];
-                locked_clock += d0.max(d1);
-                prev = [engines[0].now(), engines[1].now()];
-            }
-        }
-        locked_clock += (engines[0].now() - prev[0]).max(engines[1].now() - prev[1]);
-        let decoupled = engines[0].now().max(engines[1].now());
-        coupling += locked_clock.saturating_sub(decoupled);
+        let driver = RedundantDriver::new(self.ccfg);
+        let mut policy = LockstepPolicy::new(self.window);
+        let res = driver.run(&mut policy, trace, &[]);
         LockstepOutcome {
-            committed: trace.len() as u64,
-            cycles: locked_clock,
-            coupling_stall_cycles: coupling,
+            core: res.out,
+            coupling_stall_cycles: res.events.sum(TraceEventKind::CouplingStall),
         }
+    }
+}
+
+/// Lockstep as a [`RedundancyPolicy`]: every `window` retirements the
+/// pair re-synchronizes, so the locked clock advances by the *slower*
+/// core's per-window commit delta — the pair pays every hiccup of
+/// either core, while a decoupled pair pays only `max(total_A,
+/// total_B)`.
+pub struct LockstepPolicy {
+    window: u64,
+    hooks: [NullHooks; 2],
+    locked_clock: u64,
+    prev: [u64; 2],
+}
+
+impl LockstepPolicy {
+    /// A policy re-synchronizing every `window` retirements.
+    pub fn new(window: u64) -> Self {
+        assert!(window >= 1);
+        LockstepPolicy {
+            window,
+            hooks: [NullHooks, NullHooks],
+            locked_clock: 0,
+            prev: [0; 2],
+        }
+    }
+}
+
+impl RedundancyPolicy for LockstepPolicy {
+    type Hooks = NullHooks;
+
+    fn name(&self) -> &'static str {
+        "lockstep_pair"
+    }
+
+    fn hooks_mut(&mut self, core: usize) -> &mut NullHooks {
+        &mut self.hooks[core]
+    }
+
+    fn after_instruction(
+        &mut self,
+        _mem: &mut MemSystem,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        seq: u64,
+        _faults: &[unsync_fault::PairFault],
+        _first_attempt: bool,
+    ) {
+        lane.commit_matched_pending();
+        if (seq + 1).is_multiple_of(self.window) {
+            let d0 = lane.engines[0].now() - self.prev[0];
+            let d1 = lane.engines[1].now() - self.prev[1];
+            self.locked_clock += d0.max(d1);
+            self.prev = [lane.engines[0].now(), lane.engines[1].now()];
+        }
+    }
+
+    /// Closes the final partial window and substitutes the locked
+    /// retirement clock for the decoupled one.
+    fn finish(&mut self, _mem: &mut MemSystem, lane: &mut LaneState) {
+        self.locked_clock +=
+            (lane.engines[0].now() - self.prev[0]).max(lane.engines[1].now() - self.prev[1]);
+        let decoupled = lane.now();
+        lane.events.emit_value(
+            TraceEventKind::CouplingStall,
+            self.locked_clock.saturating_sub(decoupled),
+        );
+        lane.out.cycles = self.locked_clock;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unsync_mem::{HierarchyConfig, WritePolicy};
+    use unsync_sim::OooEngine;
     use unsync_workloads::{Benchmark, WorkloadGen};
 
     #[test]
     fn lockstep_runs_and_pays_coupling() {
         let t = WorkloadGen::new(Benchmark::Gzip, 10_000, 2).collect_trace();
         let out = LockstepPair::new(CoreConfig::table1()).run(&t);
-        assert_eq!(out.committed, 10_000);
+        assert_eq!(out.core.committed, 10_000);
         assert!(out.coupling_stall_cycles > 0, "drift must force re-syncs");
+        assert!(out.correct(), "{out:?}");
     }
 
     #[test]
@@ -121,7 +172,11 @@ mod tests {
             }
             engines[0].now().max(engines[1].now())
         };
-        assert!(locked.cycles >= free, "{} vs {free}", locked.cycles);
+        assert!(
+            locked.core.cycles >= free,
+            "{} vs {free}",
+            locked.core.cycles
+        );
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! Where [`crate::hooks::ReunionHooks`] models only *timing*, the pair
 //! executes the program functionally on both cores, folds real results
 //! into real CRC-16 fingerprints, compares them at every interval
-//! boundary, and performs rollback recovery on mismatch. Fault injection
-//! then demonstrates the §VI-D region-of-error-coverage boundary
-//! concretely:
+//! boundary, and performs rollback recovery on mismatch. Execution
+//! routes through the shared [`unsync_exec::RedundantDriver`]; this
+//! module contributes the [`ReunionPolicy`] implementation of
+//! [`unsync_exec::RedundancyPolicy`] — fingerprint-interval
+//! segmentation, fault application, and the rollback/abandon verdicts.
+//! Fault injection then demonstrates the §VI-D region-of-error-coverage
+//! boundary concretely:
 //!
 //! * in-pipeline strikes (ROB, IQ, LSQ, pipeline registers, PC) corrupt
 //!   one instruction's result → the next fingerprint comparison catches
@@ -21,10 +25,13 @@
 //!   addresses, so nothing ever fires.
 
 use serde::{Deserialize, Serialize};
+use unsync_exec::{
+    LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, SegmentVerdict, TraceEventKind,
+};
 use unsync_fault::{FaultTarget, Fingerprint, PairFault};
-use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
-use unsync_mem::{HierarchyConfig, MemSystem, WritePolicy};
-use unsync_sim::{CoreConfig, OooEngine};
+use unsync_isa::{Inst, TraceProgram};
+use unsync_mem::MemSystem;
+use unsync_sim::CoreConfig;
 
 use crate::config::ReunionConfig;
 use crate::hooks::ReunionHooks;
@@ -37,53 +44,25 @@ const MAX_ROLLBACK_RETRIES: u32 = 3;
 /// Result of running a redundant pair to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairOutcome {
-    /// Committed (verified) instructions.
-    pub committed: u64,
-    /// Total cycles (slower core's last commit).
-    pub cycles: u64,
+    /// The counters all schemes share (committed, cycles, detections,
+    /// unrecoverable, silent faults, …).
+    pub core: OutcomeCore,
     /// Fingerprint mismatches observed.
     pub mismatches: u64,
     /// Rollback recoveries performed.
     pub rollbacks: u64,
     /// Errors absorbed in place by ECC (L1 strikes under Reunion).
     pub corrected_in_place: u64,
-    /// Intervals abandoned as unrecoverable (divergent architectural
-    /// state that rollback cannot repair).
-    pub unrecoverable: u64,
-    /// Faults that produced *no* detectable signal at all (e.g. silent
-    /// wrong-address stores from TLB strikes).
-    pub silent_faults: u64,
     /// Loads that observed an incoherent value under relaxed input
     /// replication (each triggers a mismatch + re-issue).
     pub incoherent_loads: u64,
-    /// Whether the final committed memory image matches the fault-free
-    /// golden run bit for bit.
-    pub memory_matches_golden: bool,
 }
 
-impl PairOutcome {
-    /// Instructions per cycle of the pair (committed work over the slower
-    /// core's cycles).
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+impl std::ops::Deref for PairOutcome {
+    type Target = OutcomeCore;
+    fn deref(&self) -> &OutcomeCore {
+        &self.core
     }
-
-    /// True if execution was fully correct: nothing escaped silently and
-    /// memory matches the golden image.
-    pub fn correct(&self) -> bool {
-        self.memory_matches_golden && self.silent_faults == 0 && self.unrecoverable == 0
-    }
-}
-
-/// One pending (unverified) store.
-#[derive(Debug, Clone, Copy)]
-struct PendingStore {
-    addr: [u64; 2],
-    value: [u64; 2],
 }
 
 /// The vocal/mute Reunion pair.
@@ -98,7 +77,7 @@ struct PendingStore {
 /// let trace = WorkloadGen::new(Benchmark::Gzip, 3_000, 7).collect_trace();
 /// let pair = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
 /// let out = pair.run(&trace, &[]);
-/// assert_eq!(out.committed, 3_000);
+/// assert_eq!(out.core.committed, 3_000);
 /// assert!(out.correct());
 /// ```
 pub struct ReunionPair {
@@ -116,277 +95,269 @@ impl ReunionPair {
     /// Runs `trace` to completion with the given faults (empty slice =
     /// error-free execution). Faults must be sorted by `at`.
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> PairOutcome {
-        assert!(
-            faults.windows(2).all(|w| w[0].at <= w[1].at),
-            "faults must be sorted"
-        );
-        let (_, golden_mem) = golden_run(trace);
+        let driver = RedundantDriver::new(self.ccfg);
+        let mut policy = ReunionPolicy::new(self.rcfg);
+        let res = driver.run(&mut policy, trace, faults);
+        PairOutcome {
+            core: res.out,
+            mismatches: res.events.count(TraceEventKind::FingerprintMismatch),
+            rollbacks: res.events.count(TraceEventKind::Rollback),
+            corrected_in_place: res.events.count(TraceEventKind::CorrectedInPlace),
+            incoherent_loads: res.events.count(TraceEventKind::IncoherentLoad),
+        }
+    }
+}
 
-        let mut mem = MemSystem::new(HierarchyConfig::table1(), 2, WritePolicy::WriteThrough);
-        let mut engines = [OooEngine::new(self.ccfg, 0), OooEngine::new(self.ccfg, 1)];
-        let mut hooks = [ReunionHooks::new(self.rcfg), ReunionHooks::new(self.rcfg)];
+/// The Reunion scheme as a [`RedundancyPolicy`]: fingerprint-interval
+/// segments with serializing cuts, vocal/mute store release, CRC-16
+/// comparison at every boundary, rollback on mismatch, abandonment
+/// (with register resynchronization) once retries cannot converge.
+pub struct ReunionPolicy {
+    rcfg: ReunionConfig,
+    hooks: [ReunionHooks; 2],
+    fps: [Fingerprint; 2],
+}
+
+impl ReunionPolicy {
+    /// A policy with the given Reunion configuration.
+    pub fn new(rcfg: ReunionConfig) -> Self {
+        let mut hooks = [ReunionHooks::new(rcfg), ReunionHooks::new(rcfg)];
         // The mute core does not release stores (single-instance release).
         hooks[1].release_stores = false;
-        let mut arch = [ArchState::new(), ArchState::new()];
-        let mut committed_mem = ArchMemory::new();
-
-        let mut out = PairOutcome {
-            committed: 0,
-            cycles: 0,
-            mismatches: 0,
-            rollbacks: 0,
-            corrected_in_place: 0,
-            unrecoverable: 0,
-            silent_faults: 0,
-            incoherent_loads: 0,
-            memory_matches_golden: false,
-        };
-
-        let insts = trace.insts();
-        let mut next_fault = 0usize;
-        let mut i = 0usize;
-        while i < insts.len() {
-            // ── Collect the next interval ──────────────────────────────
-            let start = i;
-            let mut end = i;
-            while end < insts.len() {
-                let inst = &insts[end];
-                end += 1;
-                if (end - start) >= self.rcfg.fingerprint_interval as usize
-                    || inst.op.is_serializing()
-                {
-                    break;
-                }
-            }
-
-            // Faults striking inside this interval (consumed on first
-            // execution only — single-event upsets are transient; only
-            // their *state* effects persist).
-            let mut interval_faults: Vec<PairFault> = Vec::new();
-            while next_fault < faults.len() && faults[next_fault].at < end as u64 {
-                debug_assert!(faults[next_fault].at >= start as u64);
-                interval_faults.push(faults[next_fault]);
-                next_fault += 1;
-            }
-
-            // ── Execute the interval, retrying on mismatch ─────────────
-            let snapshot = [arch[0].clone(), arch[1].clone()];
-            let mut attempt = 0u32;
-            loop {
-                let mut fps = [Fingerprint::new(), Fingerprint::new()];
-                let mut pending: Vec<(u64, PendingStore)> = Vec::new();
-                for (k, inst) in insts[start..end].iter().enumerate() {
-                    let seq = (start + k) as u64;
-                    for core in 0..2 {
-                        engines[core].feed(inst, &mut mem, &mut hooks[core]);
-                        self.exec_functional(
-                            inst,
-                            core,
-                            seq,
-                            &mut arch,
-                            &committed_mem,
-                            &mut pending,
-                            &mut fps,
-                            if attempt == 0 { &interval_faults } else { &[] },
-                            attempt == 0,
-                            &mut out,
-                        );
-                    }
-                }
-                // Cross-core coupling: the fingerprint comparison finishes
-                // only after the *slower* core produced its half. Extend
-                // both cores' verification (and, for a serializing cut,
-                // the rendezvous) to the common time.
-                let common = hooks[0].last_verify.max(hooks[1].last_verify);
-                let v0 = hooks[0].patch_last_verify(common);
-                let v1 = hooks[1].patch_last_verify(common);
-                debug_assert_eq!(v0, v1);
-                if insts[end - 1].op.is_serializing() {
-                    let resume = common + self.rcfg.serialize_sync_penalty as u64;
-                    engines[0].raise_dispatch_floor(resume);
-                    engines[1].raise_dispatch_floor(resume);
-                }
-                if fps[0].peek() == fps[1].peek() {
-                    // Verified: release one instance of each store.
-                    for (_, st) in &pending {
-                        committed_mem.write(st.addr[0], st.value[0]);
-                    }
-                    out.committed += (end - start) as u64;
-                    break;
-                }
-                out.mismatches += 1;
-                attempt += 1;
-                if attempt > MAX_ROLLBACK_RETRIES {
-                    // Divergent architectural state: rollback restores
-                    // each core's own (corrupt) snapshot and can never
-                    // converge. Abandon checking for this interval and
-                    // resynchronize the registers so the run can proceed —
-                    // exactly the silent-corruption hazard §VI-D ascribes
-                    // to Reunion's limited ROEC.
-                    out.unrecoverable += 1;
-                    let resync = arch[0].clone();
-                    arch[1].copy_from(&resync);
-                    for (_, st) in &pending {
-                        committed_mem.write(st.addr[0], st.value[0]);
-                    }
-                    out.committed += (end - start) as u64;
-                    break;
-                }
-                // Rollback: squash, restore the interval-start snapshot,
-                // re-execute.
-                out.rollbacks += 1;
-                let now =
-                    engines[0].now().max(engines[1].now()) + self.rcfg.rollback_penalty as u64;
-                for core in 0..2 {
-                    engines[core].flush_pipeline(now);
-                    arch[core].copy_from(&snapshot[core]);
-                }
-            }
-            i = end;
+        ReunionPolicy {
+            rcfg,
+            hooks,
+            fps: [Fingerprint::new(), Fingerprint::new()],
         }
-
-        out.cycles = engines[0].now().max(engines[1].now());
-        // Verify against the golden image: every word the golden run wrote
-        // must match the pair's committed memory.
-        out.memory_matches_golden = golden_mem
-            .iter()
-            .all(|(addr, val)| committed_mem.read(addr) == val);
-
-        // Publish run aggregates once per pair run (never per
-        // instruction — the interval loop is the hot path).
-        let m = unsync_sim::metrics::global();
-        m.counter("reunion_pair.runs").inc();
-        m.counter("reunion_pair.instructions").add(out.committed);
-        m.counter("reunion_pair.cycles").add(out.cycles);
-        m.counter("reunion_pair.mismatches").add(out.mismatches);
-        m.counter("reunion_pair.rollbacks").add(out.rollbacks);
-        m.counter("reunion_pair.incoherent_loads")
-            .add(out.incoherent_loads);
-        out
     }
 
-    /// Functionally executes `inst` on `core`, applying any fault that
-    /// strikes it, and folds the result into the core's fingerprint.
-    #[allow(clippy::too_many_arguments)]
-    fn exec_functional(
-        &self,
+    /// The fault (if any) striking `seq` on `core`, first attempt only —
+    /// single-event upsets are transient; only their *state* effects
+    /// persist across retries.
+    fn fault_site(
+        faults: &[PairFault],
+        seq: u64,
+        core: usize,
+        first_attempt: bool,
+    ) -> Option<unsync_fault::FaultSite> {
+        if !first_attempt {
+            return None;
+        }
+        faults
+            .iter()
+            .find(|f| f.at == seq && f.core == core)
+            .map(|f| f.site)
+    }
+}
+
+impl RedundancyPolicy for ReunionPolicy {
+    type Hooks = ReunionHooks;
+
+    fn name(&self) -> &'static str {
+        "reunion_pair"
+    }
+
+    /// Reunion reports the honest memory comparison even after an
+    /// abandoned interval — the divergence is functionally modelled.
+    fn golden_requires_recoverable(&self) -> bool {
+        false
+    }
+
+    fn rolls_back(&self) -> bool {
+        true
+    }
+
+    fn hooks_mut(&mut self, core: usize) -> &mut ReunionHooks {
+        &mut self.hooks[core]
+    }
+
+    /// A segment is one fingerprint interval, cut early (inclusively) at
+    /// serializing instructions.
+    fn segment_end(&self, insts: &[Inst], start: usize) -> usize {
+        let mut end = start;
+        while end < insts.len() {
+            let inst = &insts[end];
+            end += 1;
+            if (end - start) >= self.rcfg.fingerprint_interval as usize || inst.op.is_serializing()
+            {
+                break;
+            }
+        }
+        end
+    }
+
+    fn begin_attempt(&mut self, _lane: &mut LaneState, _attempt: u32) {
+        self.fps = [Fingerprint::new(), Fingerprint::new()];
+    }
+
+    /// Pre-execution persistent-state faults.
+    fn pre_execute(
+        &mut self,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        core: usize,
+        seq: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) {
+        let Some(site) = Self::fault_site(faults, seq, core, first_attempt) else {
+            return;
+        };
+        match site.target {
+            FaultTarget::RegisterFile => {
+                // Persistent flip in this core's architectural register
+                // file — outside Reunion's ROEC.
+                let reg = (site.bit_offset / 64) as usize % 64;
+                let bit = (site.bit_offset % 64) as u32;
+                let regs = lane.arch[core].regs_mut();
+                regs[reg] ^= 1 << bit;
+            }
+            FaultTarget::L1Data | FaultTarget::L1Tag => {
+                // Reunion's L1 carries SECDED: corrected in place.
+                lane.events.emit(TraceEventKind::CorrectedInPlace);
+            }
+            _ => {}
+        }
+    }
+
+    /// A TLB strike on a store mistranslates its address — silently,
+    /// since fingerprints do not cover addresses.
+    fn effective_addr(
+        &mut self,
+        lane: &mut LaneState,
         inst: &Inst,
         core: usize,
         seq: u64,
-        arch: &mut [ArchState; 2],
-        committed_mem: &ArchMemory,
-        pending: &mut Vec<(u64, PendingStore)>,
-        fps: &mut [Fingerprint; 2],
+        addr: u64,
         faults: &[PairFault],
         first_attempt: bool,
-        out: &mut PairOutcome,
     ) -> u64 {
-        let fault = faults
-            .iter()
-            .find(|f| f.at == seq && f.core == core)
-            .map(|f| f.site);
-
-        // Pre-execution persistent-state faults.
-        if let Some(site) = fault {
-            match site.target {
-                FaultTarget::RegisterFile => {
-                    // Persistent flip in this core's architectural
-                    // register file — outside Reunion's ROEC.
-                    let reg = (site.bit_offset / 64) as usize % 64;
-                    let bit = (site.bit_offset % 64) as u32;
-                    let regs = arch[core].regs_mut();
-                    regs[reg] ^= 1 << bit;
-                }
-                FaultTarget::L1Data | FaultTarget::L1Tag => {
-                    // Reunion's L1 carries SECDED: corrected in place.
-                    out.corrected_in_place += 1;
-                }
-                _ => {}
-            }
-        }
-
-        // Effective address (a TLB strike on a store mistranslates it —
-        // silently, since fingerprints do not cover addresses).
-        let mut addr = inst.mem.map(|m| m.addr).unwrap_or(0);
-        let mut silent_addr_fault = false;
-        if let Some(site) = fault {
+        if let Some(site) = Self::fault_site(faults, seq, core, first_attempt) {
             if site.target == FaultTarget::Tlb && inst.op.is_store() {
-                addr ^= 64 << (site.bit_offset % 16); // line-granular mistranslation
-                silent_addr_fault = true;
-                out.silent_faults += 1;
+                lane.events.emit(TraceEventKind::SilentFault);
+                return addr ^ (64 << (site.bit_offset % 16)); // line-granular mistranslation
             }
         }
+        addr
+    }
 
-        // Load value: own pending stores first (store forwarding), then
-        // committed memory. Under relaxed input replication the two
-        // cores load *independently*; with some probability the mute
-        // core observes a value another processor updated in between —
-        // "input incoherence", which Reunion treats as a transient error
-        // (§II). The re-issue after rollback reads coherently (the
-        // corruption applies on the first attempt only, like faults).
-        let loaded = if inst.op.is_load() {
-            let fwd = pending
-                .iter()
-                .rev()
-                .find(|(_, st)| st.addr[core] == (addr & !7))
-                .map(|(_, st)| st.value[core]);
-            let mut v = fwd.unwrap_or_else(|| committed_mem.read(addr));
-            if core == 1 && first_attempt && self.rcfg.input_incoherence_rate > 0.0 {
-                let h = unsync_isa::exec::splitmix64(seq ^ 0xc0fe_babe);
-                let u = (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
-                if u < self.rcfg.input_incoherence_rate {
-                    v ^= 1 << (h % 64);
-                    out.incoherent_loads += 1;
-                }
+    /// Under relaxed input replication the two cores load
+    /// *independently*; with some probability the mute core observes a
+    /// value another processor updated in between — "input incoherence",
+    /// which Reunion treats as a transient error (§II). The re-issue
+    /// after rollback reads coherently (the corruption applies on the
+    /// first attempt only, like faults).
+    fn transform_load(
+        &mut self,
+        lane: &mut LaneState,
+        _inst: &Inst,
+        core: usize,
+        seq: u64,
+        value: u64,
+        first_attempt: bool,
+    ) -> u64 {
+        if core == 1 && first_attempt && self.rcfg.input_incoherence_rate > 0.0 {
+            let h = unsync_isa::exec::splitmix64(seq ^ 0xc0fe_babe);
+            let u = (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+            if u < self.rcfg.input_incoherence_rate {
+                lane.events.emit(TraceEventKind::IncoherentLoad);
+                return value ^ (1 << (h % 64));
             }
-            Some(v)
-        } else {
-            None
+        }
+        value
+    }
+
+    /// Transient in-pipeline faults corrupt this instruction's result —
+    /// inside the fingerprint window, so the comparison catches them.
+    fn transform_result(
+        &mut self,
+        _lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        seq: u64,
+        result: u64,
+        faults: &[PairFault],
+        first_attempt: bool,
+    ) -> u64 {
+        let Some(site) = Self::fault_site(faults, seq, core, first_attempt) else {
+            return result;
         };
-
-        let mut result = arch[core].compute(inst, loaded);
-
-        // Transient in-pipeline faults corrupt this instruction's result —
-        // inside the fingerprint window, so the comparison catches them.
-        if let Some(site) = fault {
-            match site.target {
-                FaultTarget::Pc
-                | FaultTarget::PipelineRegs
-                | FaultTarget::Rob
-                | FaultTarget::IssueQueue
-                | FaultTarget::Lsq => {
-                    result ^= 1 << (site.bit_offset % 64);
-                }
-                FaultTarget::Tlb if inst.op.is_load() => {
-                    // A mistranslated load fetches the wrong value; the
-                    // corrupt result is inside the fingerprint window.
-                    result ^= 1 << (site.bit_offset % 64);
-                }
-                _ => {}
+        match site.target {
+            FaultTarget::Pc
+            | FaultTarget::PipelineRegs
+            | FaultTarget::Rob
+            | FaultTarget::IssueQueue
+            | FaultTarget::Lsq => result ^ (1 << (site.bit_offset % 64)),
+            FaultTarget::Tlb if inst.op.is_load() => {
+                // A mistranslated load fetches the wrong value; the
+                // corrupt result is inside the fingerprint window.
+                result ^ (1 << (site.bit_offset % 64))
             }
+            _ => result,
         }
+    }
 
-        if inst.op.is_store() {
-            match pending.iter_mut().find(|(s, _)| *s == seq) {
-                Some((_, st)) => {
-                    st.addr[core] = addr & !7;
-                    st.value[core] = result;
-                }
-                None => pending.push((
-                    seq,
-                    PendingStore {
-                        addr: [addr & !7; 2],
-                        value: [result; 2],
-                    },
-                )),
-            }
+    fn executed(
+        &mut self,
+        _lane: &mut LaneState,
+        inst: &Inst,
+        core: usize,
+        _seq: u64,
+        result: u64,
+    ) {
+        self.fps[core].update(inst.pc, result);
+    }
+
+    /// The interval boundary: fingerprint exchange and comparison,
+    /// rollback on mismatch, abandonment once retries cannot converge.
+    fn end_segment(
+        &mut self,
+        _mem: &mut MemSystem,
+        lane: &mut LaneState,
+        insts: &[Inst],
+        _start: usize,
+        end: usize,
+        attempt: u32,
+    ) -> SegmentVerdict {
+        // Cross-core coupling: the fingerprint comparison finishes only
+        // after the *slower* core produced its half. Extend both cores'
+        // verification (and, for a serializing cut, the rendezvous) to
+        // the common time.
+        let common = self.hooks[0].last_verify.max(self.hooks[1].last_verify);
+        let v0 = self.hooks[0].patch_last_verify(common);
+        let v1 = self.hooks[1].patch_last_verify(common);
+        debug_assert_eq!(v0, v1);
+        if insts[end - 1].op.is_serializing() {
+            let resume = common + self.rcfg.serialize_sync_penalty as u64;
+            lane.engines[0].raise_dispatch_floor(resume);
+            lane.engines[1].raise_dispatch_floor(resume);
         }
-        if let Some(d) = inst.arch_dest() {
-            arch[core].write(d, result);
+        if self.fps[0].peek() == self.fps[1].peek() {
+            lane.events.emit(TraceEventKind::FingerprintMatch);
+            return SegmentVerdict::Commit;
         }
-        let _ = silent_addr_fault;
-        fps[core].update(inst.pc, result);
-        result
+        lane.events.emit(TraceEventKind::Detection);
+        lane.events.emit(TraceEventKind::FingerprintMismatch);
+        if attempt >= MAX_ROLLBACK_RETRIES {
+            // Divergent architectural state: rollback restores each
+            // core's own (corrupt) snapshot and can never converge.
+            // Abandon checking for this interval and resynchronize the
+            // registers so the run can proceed — exactly the
+            // silent-corruption hazard §VI-D ascribes to Reunion's
+            // limited ROEC.
+            lane.events.emit(TraceEventKind::Unrecoverable);
+            let resync = lane.arch[0].clone();
+            lane.arch[1].copy_from(&resync);
+            return SegmentVerdict::Abandon;
+        }
+        // Rollback: squash, restore the interval-start snapshot (the
+        // driver restores the architectural snapshot), re-execute.
+        lane.events.emit(TraceEventKind::Rollback);
+        let now = lane.now() + self.rcfg.rollback_penalty as u64;
+        for e in lane.engines.iter_mut() {
+            e.flush_pipeline(now);
+        }
+        SegmentVerdict::Retry
     }
 }
 
@@ -415,11 +386,11 @@ mod tests {
     fn error_free_run_is_correct_and_complete() {
         let t = trace(3_000, 1);
         let out = pair().run(&t, &[]);
-        assert_eq!(out.committed, 3_000);
+        assert_eq!(out.core.committed, 3_000);
         assert_eq!(out.mismatches, 0);
         assert_eq!(out.rollbacks, 0);
         assert!(out.correct(), "{out:?}");
-        assert!(out.cycles > 0);
+        assert!(out.core.cycles > 0);
     }
 
     #[test]
@@ -434,7 +405,7 @@ mod tests {
         let out = pair().run(&t, &faults);
         assert_eq!(out.mismatches, 1);
         assert_eq!(out.rollbacks, 1);
-        assert_eq!(out.unrecoverable, 0);
+        assert_eq!(out.core.unrecoverable, 0);
         assert!(out.correct(), "{out:?}");
     }
 
@@ -465,7 +436,7 @@ mod tests {
         let out = pair().run(&t, &faults);
         assert_eq!(out.mismatches, 1);
         assert_eq!(out.rollbacks, 1);
-        assert_eq!(out.unrecoverable, 0);
+        assert_eq!(out.core.unrecoverable, 0);
         assert!(out.correct(), "{out:?}");
     }
 
@@ -517,7 +488,7 @@ mod tests {
         }];
         let out = pair().run(&t, &faults);
         assert!(out.mismatches > 1, "{out:?}");
-        assert_eq!(out.unrecoverable, 1, "{out:?}");
+        assert_eq!(out.core.unrecoverable, 1, "{out:?}");
         assert!(!out.correct());
     }
 
@@ -553,13 +524,13 @@ mod tests {
             kind: unsync_fault::FaultKind::Single,
         }];
         let out = pair().run(&t, &faults);
-        assert_eq!(out.silent_faults, 1);
+        assert_eq!(out.core.silent_faults, 1);
         assert_eq!(
             out.mismatches, 0,
             "fingerprints never notice a wrong-address store"
         );
         assert!(
-            !out.memory_matches_golden,
+            !out.core.memory_matches_golden,
             "memory image silently corrupted"
         );
     }
@@ -579,7 +550,7 @@ mod tests {
         // And the coherent-by-construction single-thread run pays for it.
         let clean =
             ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline()).run(&t, &[]);
-        assert!(out.cycles > clean.cycles);
+        assert!(out.core.cycles > clean.core.cycles);
     }
 
     #[test]
@@ -596,7 +567,7 @@ mod tests {
             .collect();
         let faulty = pair().run(&t, &faults);
         assert!(faulty.rollbacks >= 15, "{faulty:?}");
-        assert!(faulty.cycles > clean.cycles);
+        assert!(faulty.core.cycles > clean.core.cycles);
         assert!(
             faulty.correct(),
             "transient pipeline faults are fully recoverable"

@@ -76,6 +76,17 @@ fn fig5_quick_matches_golden() {
 }
 
 #[test]
+fn comparators_quick_matches_golden() {
+    let cfg = ExperimentConfig::quick();
+    let rows = experiments::comparators_on(Runner::new(2), cfg);
+    let mut log = RunLog::start("comparators", cfg);
+    for row in &rows {
+        log.record(render::jsonl::comparators(row));
+    }
+    check("comparators", log.deterministic_lines());
+}
+
+#[test]
 fn table1_matches_golden() {
     let mut log = RunLog::start_static("table1");
     log.record(render::jsonl::table1());

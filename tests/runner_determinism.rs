@@ -76,3 +76,52 @@ fn table1_jsonl_is_byte_identical_across_repeated_renders() {
         assert_eq!(table1_jsonl(), reference, "Table I record must be stable");
     }
 }
+
+#[test]
+fn lockstep_pair_is_deterministic_across_repeated_runs() {
+    use unsync::prelude::*;
+    use unsync::reunion::LockstepPair;
+    let t = WorkloadGen::new(Benchmark::Qsort, 5_000, 11).collect_trace();
+    let run = |window: u64| {
+        let mut pair = LockstepPair::new(CoreConfig::table1());
+        pair.window = window;
+        pair.run(&t)
+    };
+    for window in [1, 8, 64] {
+        let reference = run(window);
+        assert!(reference.core.cycles > 0);
+        for _ in 0..2 {
+            assert_eq!(run(window), reference, "window {window} diverged");
+        }
+    }
+}
+
+#[test]
+fn nway_group_is_deterministic_across_repeated_runs() {
+    use unsync::prelude::*;
+    use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
+    let t = WorkloadGen::new(Benchmark::Fft, 5_000, 13).collect_trace();
+    // One strike per replica index exercises every recovery source path.
+    for ways in [2usize, 3, 4] {
+        let faults: Vec<PairFault> = (0..ways)
+            .map(|core| PairFault {
+                at: 1_000 + 37 * core as u64,
+                core,
+                site: FaultSite {
+                    target: FaultTarget::RegisterFile,
+                    bit_offset: 67 + core as u64,
+                },
+                kind: FaultKind::Single,
+            })
+            .collect();
+        let run = || {
+            UnsyncGroup::new(CoreConfig::table1(), UnsyncConfig::paper_baseline(), ways)
+                .run(&t, &faults)
+        };
+        let reference = run();
+        assert_eq!(reference.core.recoveries, ways as u64, "{ways}-way");
+        for _ in 0..2 {
+            assert_eq!(run(), reference, "{ways}-way group diverged");
+        }
+    }
+}
