@@ -1,6 +1,8 @@
 //! Error-free overhead of every redundancy discipline in the repository,
 //! side by side: tight lockstep (§II mainframes), Reunion, coarse
-//! checkpointing (Smolens 2004) and UnSync.
+//! checkpointing (Smolens 2004), UnSync, majority-voting TMR,
+//! FlexStep-style granularity (128-instruction window) and the
+//! SECDED-only non-redundant floor.
 
 use unsync_bench::{experiments, render, ExperimentConfig, RunLog};
 
@@ -11,19 +13,28 @@ fn main() {
         cfg.inst_count
     );
     println!(
-        "{:<12} {:>10} {:>10} {:>12} {:>10}",
-        "benchmark", "lockstep", "Reunion", "checkpoint", "UnSync"
+        "{:<12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "lockstep", "Reunion", "checkpoint", "UnSync", "TMR", "FlexStep", "SECDED"
     );
     let mut log = RunLog::start("comparators", cfg);
-    for row in &experiments::comparators(cfg) {
+    let rows = experiments::comparators(cfg);
+    // The original four columns keep their frozen record shape (golden
+    // rows stay byte-identical); the new schemes append their own rows.
+    for row in &rows {
         log.record(render::jsonl::comparators(row));
+    }
+    for row in &rows {
+        log.record(render::jsonl::comparator_schemes(row));
         println!(
-            "{:<12} {:>9.2}% {:>9.2}% {:>11.2}% {:>9.2}%",
+            "{:<12} {:>9.2}% {:>9.2}% {:>11.2}% {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
             row.bench,
             row.lockstep_overhead * 100.0,
             row.reunion_overhead * 100.0,
             row.checkpoint_overhead * 100.0,
-            row.unsync_overhead * 100.0
+            row.unsync_overhead * 100.0,
+            row.tmr_overhead * 100.0,
+            row.flex_overhead * 100.0,
+            row.secded_overhead * 100.0
         );
     }
     if let Some(p) = log.write(1) {
@@ -36,4 +47,7 @@ fn main() {
     println!("abandoning it. Reunion/checkpointing relax that but tax every instruction;");
     println!("UnSync decouples completely and bets on errors being rare (its per-error");
     println!("recovery is the most expensive — see --bin ablation_recovery).");
+    println!("The new columns bracket the space: TMR pays ~3x resources to vote errors");
+    println!("away with zero rollback, FlexStep tunes the compare interval at runtime,");
+    println!("and SECDED-only shows what a lone ECC-protected core gets you for free.");
 }

@@ -2,6 +2,7 @@
 
 use serde::Serialize;
 use unsync_core::{UnsyncConfig, UnsyncPair};
+use unsync_exec::{FlexConfig, FlexPair, SecdedOnlyCore, TmrTriple};
 use unsync_fault::{Coverage, FaultTarget, PairFault, SerRate};
 use unsync_isa::TraceProgram;
 use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
@@ -487,6 +488,13 @@ pub struct ComparatorRow {
     pub checkpoint_overhead: f64,
     /// UnSync overhead vs. baseline (fraction).
     pub unsync_overhead: f64,
+    /// Majority-voting TMR overhead vs. baseline (fraction).
+    pub tmr_overhead: f64,
+    /// FlexStep-style pair (128-instruction window) overhead vs.
+    /// baseline (fraction).
+    pub flex_overhead: f64,
+    /// SECDED-only non-redundant core overhead vs. baseline (fraction).
+    pub secded_overhead: f64,
 }
 
 /// The benchmark subset the comparator study reports (one cache-friendly
@@ -531,14 +539,118 @@ pub fn comparators_on(runner: Runner, cfg: ExperimentConfig) -> Vec<ComparatorRo
         let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
             .run(&t, &[])
             .cycles;
+        let tmr = TmrTriple::new(CoreConfig::table1()).run(&t, &[]).cycles;
+        let flex = FlexPair::new(CoreConfig::table1(), FlexConfig::paper_baseline())
+            .run(&t, &[])
+            .cycles;
+        let secded = SecdedOnlyCore::new(CoreConfig::table1())
+            .run(&t, &[])
+            .cycles;
         ComparatorRow {
             bench: bench.name(),
             lockstep_overhead: over(lockstep),
             reunion_overhead: over(reunion),
             checkpoint_overhead: over(ckpt),
             unsync_overhead: over(unsync),
+            tmr_overhead: over(tmr),
+            flex_overhead: over(flex),
+            secded_overhead: over(secded),
         }
     })
+}
+
+// ─────────────────────────── Scheme values ──────────────────────────────
+
+/// Deterministic counters of one new scheme on one benchmark under a
+/// fixed single-strike schedule — the golden/determinism surface of the
+/// PR-3 schemes (TMR voting, FlexStep granularity, SECDED-only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SchemeValuesRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Scheme metric prefix (`tmr_vote`, `flex_step`, `secded_only`).
+    pub scheme: &'static str,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Errors detected.
+    pub detections: u64,
+    /// TMR majority-vote in-place repairs.
+    pub corrections: u64,
+    /// FlexStep window-boundary comparisons.
+    pub compares: u64,
+    /// SECDED single-bit strikes corrected in place.
+    pub corrected_in_place: u64,
+    /// Whether the run ended fully correct.
+    pub correct: bool,
+}
+
+/// The benchmark subset the scheme-values study snapshots (kept small —
+/// every row simulates three schemes).
+pub const SCHEME_BENCHES: [Benchmark; 3] = [Benchmark::Bzip2, Benchmark::Sha, Benchmark::Qsort];
+
+/// Counter rows for the three PR-3 schemes under one mid-trace ROB
+/// strike each (core 1 for the redundant schemes, core 0 for the single
+/// SECDED lane), exercising detection, correction, and comparison paths.
+pub fn scheme_values(cfg: ExperimentConfig) -> Vec<SchemeValuesRow> {
+    scheme_values_on(Runner::from_env(), cfg)
+}
+
+/// [`scheme_values`] on an explicit runner.
+pub fn scheme_values_on(runner: Runner, cfg: ExperimentConfig) -> Vec<SchemeValuesRow> {
+    let rows = per_benchmark(runner, &SCHEME_BENCHES, |bench| {
+        let t = trace(bench, cfg);
+        let strike = |core: usize| PairFault {
+            at: cfg.inst_count / 2,
+            core,
+            site: unsync_fault::FaultSite {
+                target: FaultTarget::Rob,
+                bit_offset: 21,
+            },
+            kind: unsync_fault::FaultKind::Single,
+        };
+        let tmr = TmrTriple::new(CoreConfig::table1()).run(&t, &[strike(1)]);
+        let flex =
+            FlexPair::new(CoreConfig::table1(), FlexConfig::paper_baseline()).run(&t, &[strike(1)]);
+        let secded = SecdedOnlyCore::new(CoreConfig::table1()).run(&t, &[strike(0)]);
+        [
+            SchemeValuesRow {
+                bench: bench.name(),
+                scheme: "tmr_vote",
+                cycles: tmr.core.cycles,
+                committed: tmr.core.committed,
+                detections: tmr.core.detections,
+                corrections: tmr.corrections,
+                compares: 0,
+                corrected_in_place: 0,
+                correct: tmr.correct(),
+            },
+            SchemeValuesRow {
+                bench: bench.name(),
+                scheme: "flex_step",
+                cycles: flex.core.cycles,
+                committed: flex.core.committed,
+                detections: flex.core.detections,
+                corrections: 0,
+                compares: flex.compares,
+                corrected_in_place: 0,
+                correct: flex.correct(),
+            },
+            SchemeValuesRow {
+                bench: bench.name(),
+                scheme: "secded_only",
+                cycles: secded.core.cycles,
+                committed: secded.core.committed,
+                detections: secded.core.detections,
+                corrections: 0,
+                compares: 0,
+                corrected_in_place: secded.corrected_in_place,
+                correct: secded.correct(),
+            },
+        ]
+    });
+    rows.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -603,6 +715,31 @@ mod tests {
         // A break-even exists and is a high (unrealistic) rate.
         let be = s.break_even.expect("break-even must exist");
         assert!(be > 1e-7, "break-even {be}");
+    }
+
+    #[test]
+    fn scheme_values_exercise_every_scheme_path() {
+        let rows = scheme_values(quick());
+        assert_eq!(rows.len(), SCHEME_BENCHES.len() * 3);
+        for r in &rows {
+            match r.scheme {
+                "tmr_vote" => {
+                    assert_eq!(r.corrections, 1, "{r:?}");
+                    assert!(r.correct, "{r:?}");
+                }
+                "flex_step" => {
+                    assert!(r.compares > 0, "{r:?}");
+                    assert!(r.correct, "{r:?}");
+                }
+                "secded_only" => {
+                    assert_eq!(r.corrected_in_place, 1, "{r:?}");
+                    assert!(r.correct, "{r:?}");
+                }
+                other => panic!("unexpected scheme {other}"),
+            }
+            assert!(r.detections <= 1, "{r:?}");
+            assert!(r.cycles > 0 && r.committed > 0, "{r:?}");
+        }
     }
 
     #[test]

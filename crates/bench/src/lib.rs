@@ -25,8 +25,8 @@ pub mod runner;
 pub mod stats;
 
 pub use experiments::{
-    fig4, fig5, fig6, roec, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row, RoecReport,
-    SerSweep,
+    fig4, fig5, fig6, roec, scheme_values, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row,
+    RoecReport, SchemeValuesRow, SerSweep,
 };
 pub use runlog::{Json, RunLog};
 pub use runner::{baseline_cycles, job_seed, job_stream, Runner};

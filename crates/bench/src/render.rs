@@ -1,6 +1,8 @@
 //! Text rendering of experiment results (the "figures" as tables).
 
-use crate::experiments::{ComparatorRow, Fig4Row, Fig5Cell, Fig6Row, RoecReport, SerSweep};
+use crate::experiments::{
+    ComparatorRow, Fig4Row, Fig5Cell, Fig6Row, RoecReport, SchemeValuesRow, SerSweep,
+};
 
 /// Renders Fig. 4 as a per-benchmark overhead table.
 pub fn fig4(rows: &[Fig4Row]) -> String {
@@ -244,7 +246,10 @@ pub mod jsonl {
             .field("reunion_rob_occupancy", c.reunion_rob_occupancy)
     }
 
-    /// One comparator-study row.
+    /// One comparator-study row — the original four disciplines. The
+    /// field set is frozen: pre-existing golden rows must stay
+    /// byte-identical, so new schemes get their own records via
+    /// [`comparator_schemes`].
     pub fn comparators(r: &ComparatorRow) -> Json {
         Json::obj()
             .field("benchmark", r.bench)
@@ -252,6 +257,32 @@ pub mod jsonl {
             .field("reunion_overhead", r.reunion_overhead)
             .field("checkpoint_overhead", r.checkpoint_overhead)
             .field("unsync_overhead", r.unsync_overhead)
+    }
+
+    /// The same comparator row's PR-3 scheme columns (TMR voting,
+    /// FlexStep-style granularity, SECDED-only baseline) as a separate
+    /// record, appended after the frozen originals.
+    pub fn comparator_schemes(r: &ComparatorRow) -> Json {
+        Json::obj()
+            .field("benchmark", r.bench)
+            .field("tmr_overhead", r.tmr_overhead)
+            .field("flex_overhead", r.flex_overhead)
+            .field("secded_overhead", r.secded_overhead)
+    }
+
+    /// One scheme-values row (the new schemes' golden/determinism
+    /// surface).
+    pub fn scheme_values(r: &SchemeValuesRow) -> Json {
+        Json::obj()
+            .field("benchmark", r.bench)
+            .field("scheme", r.scheme)
+            .field("cycles", r.cycles)
+            .field("committed", r.committed)
+            .field("detections", r.detections)
+            .field("corrections", r.corrections)
+            .field("compares", r.compares)
+            .field("corrected_in_place", r.corrected_in_place)
+            .field("correct", r.correct)
     }
 
     /// One Fig. 6 row.

@@ -44,10 +44,17 @@ pub enum TraceEventKind {
     Unrecoverable,
     /// Cycles lost re-synchronizing a lockstepped pair (value).
     CouplingStall,
+    /// A majority vote outvoted one replica and repaired it in place
+    /// (TMR); the value is the repair stall in cycles.
+    Corrected,
+    /// A comparison-window boundary was checked (FlexStep-style
+    /// granularity schemes); the value is the store-buffer occupancy
+    /// observed at the boundary.
+    WindowCompared,
 }
 
 /// Every kind, in `repr` order (indexes the accumulator arrays).
-const KINDS: [TraceEventKind; 14] = [
+const KINDS: [TraceEventKind; 16] = [
     TraceEventKind::Detection,
     TraceEventKind::RecoveryStart,
     TraceEventKind::RecoveryEnd,
@@ -62,6 +69,8 @@ const KINDS: [TraceEventKind; 14] = [
     TraceEventKind::IncoherentLoad,
     TraceEventKind::Unrecoverable,
     TraceEventKind::CouplingStall,
+    TraceEventKind::Corrected,
+    TraceEventKind::WindowCompared,
 ];
 
 impl TraceEventKind {
@@ -83,6 +92,8 @@ impl TraceEventKind {
             TraceEventKind::IncoherentLoad => "incoherent_loads",
             TraceEventKind::Unrecoverable => "unrecoverable",
             TraceEventKind::CouplingStall => "coupling_stall_cycles",
+            TraceEventKind::Corrected => "corrections",
+            TraceEventKind::WindowCompared => "window_compares",
         }
     }
 

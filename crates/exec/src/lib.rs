@@ -30,7 +30,9 @@
 //! Adding a new scheme is implementing [`RedundancyPolicy`] plus a
 //! small outcome extension — no interleaving, forwarding, or golden
 //! comparison code. See `ARCHITECTURE.md` ("Where to add things") for
-//! the recipe, and this crate's tests for a minimal worked example.
+//! the recipe, the [`schemes`] module for three complete worked
+//! examples (TMR voting, FlexStep-style granularity, SECDED-only
+//! baseline), and this crate's tests for the minimal floor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +41,13 @@ pub mod driver;
 pub mod event;
 pub mod outcome;
 pub mod policy;
+pub mod schemes;
 
 pub use driver::{LaneState, PendingStore, RedundantDriver, RunResult};
 pub use event::{EventStream, TraceEvent, TraceEventKind};
 pub use outcome::OutcomeCore;
 pub use policy::{RedundancyPolicy, SegmentVerdict};
+pub use schemes::{
+    FlexConfig, FlexGranularityPolicy, FlexOutcome, FlexPair, SecdedOnlyCore, SecdedOnlyOutcome,
+    SecdedOnlyPolicy, TmrOutcome, TmrTriple, TmrVotePolicy,
+};

@@ -80,10 +80,27 @@ fn comparators_quick_matches_golden() {
     let cfg = ExperimentConfig::quick();
     let rows = experiments::comparators_on(Runner::new(2), cfg);
     let mut log = RunLog::start("comparators", cfg);
+    // The original four-discipline records come first and keep their
+    // frozen shape (rows 0-4 must stay byte-identical across PRs); the
+    // new schemes append their own records after them.
     for row in &rows {
         log.record(render::jsonl::comparators(row));
     }
+    for row in &rows {
+        log.record(render::jsonl::comparator_schemes(row));
+    }
     check("comparators", log.deterministic_lines());
+}
+
+#[test]
+fn scheme_values_quick_match_golden() {
+    let cfg = ExperimentConfig::quick();
+    let rows = experiments::scheme_values_on(Runner::new(2), cfg);
+    let mut log = RunLog::start("schemes", cfg);
+    for row in &rows {
+        log.record(render::jsonl::scheme_values(row));
+    }
+    check("schemes", log.deterministic_lines());
 }
 
 #[test]

@@ -26,6 +26,17 @@ fn table1_jsonl() -> Vec<String> {
     log.deterministic_lines().to_vec()
 }
 
+/// The scheme-values run log (TMR voting, FlexStep granularity,
+/// SECDED-only) at a given worker count.
+fn schemes_jsonl(workers: usize, cfg: ExperimentConfig) -> Vec<String> {
+    let rows = experiments::scheme_values_on(Runner::new(workers), cfg);
+    let mut log = RunLog::start("schemes", cfg);
+    for row in &rows {
+        log.record(render::jsonl::scheme_values(row));
+    }
+    log.deterministic_lines().to_vec()
+}
+
 #[test]
 fn fig4_jsonl_is_byte_identical_across_worker_counts() {
     let cfg = ExperimentConfig {
@@ -74,6 +85,65 @@ fn table1_jsonl_is_byte_identical_across_repeated_renders() {
     assert_eq!(reference.len(), 2, "header + one machine-parameter record");
     for _ in 0..2 {
         assert_eq!(table1_jsonl(), reference, "Table I record must be stable");
+    }
+}
+
+#[test]
+fn scheme_values_jsonl_is_byte_identical_across_worker_counts() {
+    let cfg = ExperimentConfig {
+        inst_count: 1_500,
+        seed: 7,
+    };
+    let reference = schemes_jsonl(WORKER_COUNTS[0], cfg);
+    assert_eq!(
+        reference.len(),
+        1 + 3 * experiments::SCHEME_BENCHES.len(),
+        "header plus three scheme records per benchmark"
+    );
+    for &workers in &WORKER_COUNTS[1..] {
+        let got = schemes_jsonl(workers, cfg);
+        assert_eq!(
+            got, reference,
+            "scheme JSONL diverged between 1 and {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn new_schemes_are_deterministic_across_repeated_same_seed_runs() {
+    use unsync::prelude::*;
+    let t = WorkloadGen::new(Benchmark::Dijkstra, 4_000, 17).collect_trace();
+    let strike = |core: usize| PairFault {
+        at: 2_111,
+        core,
+        site: FaultSite {
+            target: FaultTarget::Rob,
+            bit_offset: 29,
+        },
+        kind: unsync_fault::FaultKind::Single,
+    };
+
+    let tmr = || TmrTriple::new(CoreConfig::table1()).run(&t, &[strike(2)]);
+    let tmr_ref = tmr();
+    assert_eq!(tmr_ref.corrections, 1);
+
+    let flex =
+        || FlexPair::new(CoreConfig::table1(), FlexConfig::with_window(64)).run(&t, &[strike(1)]);
+    let flex_ref = flex();
+    assert_eq!(flex_ref.rollbacks, 1);
+
+    let secded = || SecdedOnlyCore::new(CoreConfig::table1()).run(&t, &[strike(0)]);
+    let secded_ref = secded();
+    assert_eq!(secded_ref.corrected_in_place, 1);
+
+    for _ in 0..2 {
+        assert_eq!(tmr(), tmr_ref, "TMR diverged on a same-seed rerun");
+        assert_eq!(flex(), flex_ref, "FlexStep diverged on a same-seed rerun");
+        assert_eq!(
+            secded(),
+            secded_ref,
+            "SECDED-only diverged on a same-seed rerun"
+        );
     }
 }
 
