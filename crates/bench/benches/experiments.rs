@@ -12,13 +12,13 @@ use unsync_workloads::{Benchmark, WorkloadGen};
 const N: u64 = 20_000;
 
 fn bench_table2_table3() {
-    let g = Bench::group("tables");
+    let mut g = Bench::group("tables");
     g.bench("table2/hwcost-model", unsync_hwcost::table2);
     g.bench("table3/die-projection", unsync_hwcost::table3);
 }
 
 fn bench_fig4_architectures() {
-    let g = Bench::group("fig4");
+    let mut g = Bench::group("fig4");
     for bench in [Benchmark::Bzip2, Benchmark::Galgel] {
         let trace = WorkloadGen::new(bench, N, 1).collect_trace();
         g.bench(&format!("baseline/{}", bench.name()), || {
@@ -37,7 +37,7 @@ fn bench_fig4_architectures() {
 }
 
 fn bench_fig5_sweep_point() {
-    let g = Bench::group("fig5");
+    let mut g = Bench::group("fig5");
     for (fi, lat) in [(1u32, 10u32), (30, 40)] {
         g.bench(&format!("reunion/fi{fi}-lat{lat}"), || {
             let mut s = WorkloadGen::new(Benchmark::Galgel, N, 1);
@@ -53,7 +53,7 @@ fn bench_fig5_sweep_point() {
 }
 
 fn bench_fig6_cb_sizes() {
-    let g = Bench::group("fig6");
+    let mut g = Bench::group("fig6");
     let trace = WorkloadGen::new(Benchmark::Qsort, N, 1).collect_trace();
     for entries in [2usize, 256] {
         let pair = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::with_cb_entries(entries));
@@ -62,7 +62,7 @@ fn bench_fig6_cb_sizes() {
 }
 
 fn bench_comparators_and_extensions() {
-    let g = Bench::group("extensions");
+    let mut g = Bench::group("extensions");
     let trace = WorkloadGen::new(Benchmark::Gzip, N, 1).collect_trace();
     let lockstep = unsync_reunion::LockstepPair::new(CoreConfig::table1());
     g.bench("lockstep-pair", || lockstep.run(&trace));
@@ -100,7 +100,7 @@ fn bench_comparators_and_extensions() {
 }
 
 fn bench_reliability() {
-    let g = Bench::group("reliability");
+    let mut g = Bench::group("reliability");
     g.bench("ser-sweep", || {
         experiments::ser_sweep(ExperimentConfig::quick(), &[Benchmark::Gzip])
     });

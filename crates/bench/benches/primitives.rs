@@ -10,7 +10,7 @@ use unsync_sim::{CoreConfig, NullHooks, OooEngine};
 use unsync_workloads::{Benchmark, WorkloadGen};
 
 fn bench_detection_primitives() {
-    let g = Bench::group("primitives");
+    let mut g = Bench::group("primitives");
     let x = Cell::new(0u64);
     g.bench("parity/store+load", || {
         x.set(x.get().wrapping_add(0x9e37));
@@ -45,7 +45,7 @@ fn bench_detection_primitives() {
 }
 
 fn bench_cache() {
-    let g = Bench::group("cache");
+    let mut g = Bench::group("cache");
     let mut hot = Cache::new(CacheConfig::l1_table1(), WritePolicy::WriteThrough);
     hot.access(0x1000, AccessKind::Read);
     let hot = Cell::new(Some(hot));
@@ -85,7 +85,7 @@ fn bench_cache() {
 }
 
 fn bench_workload_and_engine() {
-    let g = Bench::group("engine");
+    let mut g = Bench::group("engine");
     for bench in [Benchmark::Bzip2, Benchmark::Sha] {
         g.bench(&format!("gen/{}", bench.name()), || {
             WorkloadGen::new(bench, 10_000, 1).collect_trace()

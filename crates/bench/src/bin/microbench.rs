@@ -1,0 +1,154 @@
+//! Hot-path microbenchmarks for the shared `RedundantDriver` loop.
+//!
+//! Benches each layer of the per-instruction path — the `ArchMemory`
+//! word store, the forwarding-heavy pending-store tracking exercised by
+//! rollback schemes, full pair runs, the multi-lane `run_system`
+//! scheduler at 2/8/16 lanes, and event/metric publication — and writes
+//! the per-bench statistics to `BENCH_driver.json` so successive PRs
+//! have a machine-readable perf trajectory (see EXPERIMENTS.md,
+//! "Driver microbenchmarks").
+//!
+//! `UNSYNC_BENCH_MS` scales the per-bench budget (CI smoke uses 20 ms);
+//! `UNSYNC_BENCH_FILTER` selects a subset by substring.
+
+use unsync_bench::microbench::{bb, Bench, BenchResult};
+use unsync_bench::runlog::Json;
+use unsync_core::{UnsyncConfig, UnsyncPair, UnsyncSystem};
+use unsync_isa::{golden_run, ArchMemory};
+use unsync_reunion::{ReunionConfig, ReunionPair};
+use unsync_sim::CoreConfig;
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+/// Where the machine-readable results land (workspace root under CI).
+const OUT_PATH: &str = "BENCH_driver.json";
+
+fn mem_benches(results: &mut Vec<BenchResult>) {
+    let mut g = Bench::group("mem");
+    // A working set of 8 Ki words over 128 pages: every write lands in
+    // an already-allocated page after the first pass, like a trace's
+    // steady state.
+    g.bench("archmem/write_8k_words", || {
+        let mut m = ArchMemory::new();
+        for i in 0..8_192u64 {
+            m.write(i * 8, i);
+        }
+        bb(m.footprint_words())
+    });
+    let mut warm = ArchMemory::new();
+    for i in 0..8_192u64 {
+        warm.write(i * 8, i);
+    }
+    g.bench("archmem/read_hit_8k", || {
+        let mut acc = 0u64;
+        for i in 0..8_192u64 {
+            acc = acc.wrapping_add(warm.read(bb(i * 8)));
+        }
+        bb(acc)
+    });
+    g.bench("archmem/read_cold_8k", || {
+        let mut acc = 0u64;
+        for i in 0..8_192u64 {
+            acc = acc.wrapping_add(warm.read(bb(0x4000_0000 + i * 8)));
+        }
+        bb(acc)
+    });
+    let t = WorkloadGen::new(Benchmark::Gzip, 4_000, 11).collect_trace();
+    g.bench("archmem/golden_run_4k", || {
+        bb(golden_run(&t)).1.footprint_words()
+    });
+    results.extend(g.into_results());
+}
+
+fn driver_benches(results: &mut Vec<BenchResult>) {
+    let mut g = Bench::group("driver");
+    let t = WorkloadGen::new(Benchmark::Gzip, 4_000, 11).collect_trace();
+    let qsort = WorkloadGen::new(Benchmark::Qsort, 4_000, 11).collect_trace();
+    let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+    g.bench("pair_run/gzip_4k", || bb(unsync.run(&t, &[])).core.cycles);
+    // Qsort is the store-heaviest workload: the CB and pending-store
+    // paths dominate.
+    g.bench("pair_run/qsort_4k", || {
+        bb(unsync.run(&qsort, &[])).core.cycles
+    });
+    // Reunion rolls back per interval, so its pending set grows to the
+    // fingerprint interval — the forwarding-heavy case.
+    let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
+    g.bench("reunion_run/qsort_4k", || {
+        bb(reunion.run(&qsort, &[])).core.cycles
+    });
+    results.extend(g.into_results());
+}
+
+fn system_benches(results: &mut Vec<BenchResult>) {
+    let mut g = Bench::group("system");
+    for lanes in [2usize, 8, 16] {
+        let traces: Vec<_> = (0..lanes)
+            .map(|p| WorkloadGen::new(Benchmark::Gzip, 1_000, 11 + p as u64).collect_trace())
+            .collect();
+        let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
+        g.bench(&format!("system_run/{lanes}_lanes_1k"), || {
+            bb(sys.run(&traces)).pairs.len()
+        });
+    }
+    results.extend(g.into_results());
+}
+
+fn event_benches(results: &mut Vec<BenchResult>) {
+    use unsync_exec::{EventStream, TraceEventKind};
+    let mut g = Bench::group("events");
+    let mut ev = EventStream::new();
+    for i in 0..100u64 {
+        ev.emit_value(TraceEventKind::Detection, 0);
+        ev.emit_value(TraceEventKind::RecoveryEnd, 40 + i);
+        ev.emit_value(TraceEventKind::CbDrain, 3);
+    }
+    g.bench("publish/3_kinds", || ev.publish(bb("microbench_scheme")));
+    results.extend(g.into_results());
+}
+
+fn write_json(results: &[BenchResult]) {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.name.as_str())
+                .field("median_ns", r.median_ns)
+                .field("mean_ns", r.mean_ns)
+                .field("min_ns", r.min_ns)
+                .field("samples", r.samples)
+                .field("batch", r.batch)
+        })
+        .collect();
+    let doc = Json::obj()
+        .field("schema", 1u64)
+        .field(
+            "bench_ms",
+            std::env::var("UNSYNC_BENCH_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(300),
+        )
+        .field("results", Json::Arr(rows));
+    let mut text = doc.render();
+    text.push('\n');
+    match std::fs::write(OUT_PATH, &text) {
+        Ok(()) => println!("\nwrote {} ({} benches)", OUT_PATH, results.len()),
+        Err(e) => {
+            eprintln!("error: could not write {OUT_PATH}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    mem_benches(&mut results);
+    driver_benches(&mut results);
+    system_benches(&mut results);
+    event_benches(&mut results);
+    assert!(
+        !results.is_empty(),
+        "UNSYNC_BENCH_FILTER removed every bench"
+    );
+    write_json(&results);
+}

@@ -266,10 +266,11 @@ pub fn ser_sweep_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]
     // Per-benchmark error-free cycles and per-event costs, averaged.
     let measures = per_benchmark(runner, benches, |bench| {
         let t = trace(bench, cfg);
+        let golden = crate::runner::golden_memory(bench, cfg);
         let reunion = ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline());
         let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
-        let r0 = reunion.run(&t, &[]);
-        let u0 = unsync.run(&t, &[]);
+        let r0 = reunion.run_with_golden(&t, &[], Some(&golden));
+        let u0 = unsync.run_with_golden(&t, &[], Some(&golden));
         // Inject K recoverable faults to measure per-event cost.
         let k = 10u64;
         let faults: Vec<PairFault> = (0..k)
@@ -283,8 +284,8 @@ pub fn ser_sweep_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]
                 kind: unsync_fault::FaultKind::Single,
             })
             .collect();
-        let rk = reunion.run(&t, &faults);
-        let uk = unsync.run(&t, &faults);
+        let rk = reunion.run_with_golden(&t, &faults, Some(&golden));
+        let uk = unsync.run_with_golden(&t, &faults, Some(&golden));
         let r_cost = (rk.cycles.saturating_sub(r0.cycles)) as f64 / k as f64;
         let u_cost = (uk.cycles.saturating_sub(u0.cycles)) as f64 / k as f64;
         (r0.cycles as f64, u0.cycles as f64, r_cost, u_cost)
@@ -386,6 +387,8 @@ pub fn roec(cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
 pub fn roec_on(runner: Runner, cfg: ExperimentConfig, campaigns: u64) -> RoecReport {
     let bench = Benchmark::Gzip;
     let t = trace(bench, cfg);
+    // One golden execution serves every injection below.
+    let golden = crate::runner::golden_memory(bench, cfg);
     let targets = unsync_fault::inject::ALL_TARGETS;
     let faults: Vec<PairFault> = (0..campaigns)
         .map(|i| {
@@ -420,7 +423,7 @@ pub fn roec_on(runner: Runner, cfg: ExperimentConfig, campaigns: u64) -> RoecRep
                 let mut s = RoecArchStats::default();
                 let mut by_target: Vec<(&'static str, u64, u64)> = Vec::new();
                 for f in &faults {
-                    let out = unsync.run(&t, std::slice::from_ref(f));
+                    let out = unsync.run_with_golden(&t, std::slice::from_ref(f), Some(&golden));
                     s.injected += 1;
                     s.detected += out.detections;
                     s.unrecoverable += out.unrecoverable;
@@ -441,7 +444,7 @@ pub fn roec_on(runner: Runner, cfg: ExperimentConfig, campaigns: u64) -> RoecRep
                 let mut s = RoecArchStats::default();
                 let mut by_target: Vec<(&'static str, u64, u64)> = Vec::new();
                 for f in &faults {
-                    let out = reunion.run(&t, std::slice::from_ref(f));
+                    let out = reunion.run_with_golden(&t, std::slice::from_ref(f), Some(&golden));
                     s.injected += 1;
                     s.detected += u64::from(out.mismatches > 0);
                     s.corrected_in_place += out.corrected_in_place;

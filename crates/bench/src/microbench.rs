@@ -16,11 +16,31 @@ use std::time::{Duration, Instant};
 /// Re-exported so bench targets can `use unsync_bench::microbench::black_box`.
 pub use std::hint::black_box as bb;
 
+/// One benchmark's measured statistics, in nanoseconds per iteration —
+/// the machine-readable counterpart of the stdout row (the microbench
+/// binary serializes these into `BENCH_driver.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` of the benchmark.
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest observed per-iteration time.
+    pub min_ns: f64,
+    /// Timed batches collected.
+    pub samples: u64,
+    /// Iterations per batch.
+    pub batch: u64,
+}
+
 /// A group of related micro-benchmarks sharing one stdout table.
 pub struct Bench {
     group: String,
     budget: Duration,
     filter: Option<String>,
+    results: Vec<BenchResult>,
 }
 
 impl Bench {
@@ -38,12 +58,23 @@ impl Bench {
             group: name.to_string(),
             budget: Duration::from_millis(ms),
             filter,
+            results: Vec::new(),
         }
+    }
+
+    /// Every result measured so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the group, returning its collected results.
+    pub fn into_results(self) -> Vec<BenchResult> {
+        self.results
     }
 
     /// Times `f`, printing one result row. Wrap inputs/outputs in
     /// [`black_box`] inside `f` to defeat constant folding.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
         let full = format!("{}/{name}", self.group);
         if let Some(filter) = &self.filter {
             if !full.contains(filter.as_str()) {
@@ -81,6 +112,14 @@ impl Bench {
             fmt_time(samples[0]),
             samples.len(),
         );
+        self.results.push(BenchResult {
+            name: full,
+            median_ns: median * 1e9,
+            mean_ns: mean * 1e9,
+            min_ns: samples[0] * 1e9,
+            samples: samples.len() as u64,
+            batch,
+        });
     }
 }
 
@@ -99,6 +138,22 @@ fn fmt_time(secs: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_collects_machine_readable_results() {
+        let mut g = Bench {
+            group: "unit".to_string(),
+            budget: Duration::from_millis(1),
+            filter: None,
+            results: Vec::new(),
+        };
+        g.bench("add", || black_box(2u64) + 2);
+        let results = g.into_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "unit/add");
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].samples > 0 && results[0].batch > 0);
+    }
 
     #[test]
     fn formats_across_scales() {

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use unsync_isa::exec::splitmix64;
+use unsync_isa::{golden_run, ArchMemory};
 use unsync_sim::{metrics, run_baseline, CoreConfig};
 use unsync_workloads::{Benchmark, SplitMixStream, WorkloadGen};
 
@@ -177,6 +178,40 @@ pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
     cycles
 }
 
+type GoldenCache = Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<ArchMemory>>>>>;
+
+fn golden_cache() -> &'static GoldenCache {
+    static CACHE: OnceLock<GoldenCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The golden (fault-free functional) memory image of one benchmark
+/// trace, memoized process-wide per `(benchmark, inst_count, seed)`.
+///
+/// Fault campaigns verify every injected-fault run against the same
+/// golden image; threading this through `run_with_golden` executes
+/// [`golden_run`] once per trace instead of once per fault — observable
+/// as `runner.golden_sim_runs` vs. `runner.golden_cache_hits`.
+pub fn golden_memory(bench: Benchmark, cfg: ExperimentConfig) -> Arc<ArchMemory> {
+    let key = (bench, cfg.inst_count, cfg.seed);
+    let cell = {
+        let mut cache = golden_cache().lock().expect("golden cache poisoned");
+        Arc::clone(cache.entry(key).or_default())
+    };
+    let m = metrics::global();
+    let mut simulated = false;
+    let golden = Arc::clone(cell.get_or_init(|| {
+        simulated = true;
+        m.counter("runner.golden_sim_runs").inc();
+        let trace = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
+        Arc::new(golden_run(&trace).1)
+    }));
+    if !simulated {
+        m.counter("runner.golden_cache_hits").inc();
+    }
+    golden
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +280,25 @@ mod tests {
         assert!(again.iter().all(|&c| c == a));
         assert_eq!(runs.get() - runs0, 1, "exactly one simulation");
         assert_eq!(hits.get() - hits0, 8, "every other lookup hit the cache");
+    }
+
+    #[test]
+    fn golden_is_simulated_once_then_cached() {
+        let cfg = ExperimentConfig {
+            inst_count: 1_500,
+            seed: 552_803,
+        };
+        let runs = metrics::global().counter("runner.golden_sim_runs");
+        let hits = metrics::global().counter("runner.golden_cache_hits");
+        let (runs0, hits0) = (runs.get(), hits.get());
+        let g = golden_memory(Benchmark::Dijkstra, cfg);
+        let again = Runner::new(4).map(&[0u64; 6], |_| golden_memory(Benchmark::Dijkstra, cfg));
+        assert!(again.iter().all(|m| **m == *g));
+        assert_eq!(runs.get() - runs0, 1, "exactly one golden execution");
+        assert_eq!(hits.get() - hits0, 6, "every other lookup hit the cache");
+        // And the image really is the golden run of that trace.
+        let trace = WorkloadGen::new(Benchmark::Dijkstra, cfg.inst_count, cfg.seed).collect_trace();
+        assert_eq!(*g, golden_run(&trace).1);
     }
 
     #[test]

@@ -114,9 +114,22 @@ impl UnsyncPair {
 
     /// Runs `trace` to completion with the given faults (sorted by `at`).
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> UnsyncOutcome {
+        self.run_with_golden(trace, faults, None)
+    }
+
+    /// [`UnsyncPair::run`] with a pre-computed golden memory image for
+    /// the final verification — fault campaigns re-running one trace
+    /// many times compute [`unsync_isa::golden_run`] once and pass it
+    /// here (see `unsync_bench::runner::golden_memory`).
+    pub fn run_with_golden(
+        &self,
+        trace: &TraceProgram,
+        faults: &[PairFault],
+        golden: Option<&unsync_isa::ArchMemory>,
+    ) -> UnsyncOutcome {
         let driver = RedundantDriver::new(self.ccfg);
         let mut policy = UnsyncPolicy::new("unsync_pair", self.ucfg, self.l1_policy, 0);
-        let res = driver.run(&mut policy, trace, faults);
+        let res = driver.run_with_golden(&mut policy, trace, faults, golden);
         UnsyncOutcome {
             core: res.out,
             benign_faults: res.events.count(TraceEventKind::BenignFault),
@@ -192,17 +205,10 @@ impl UnsyncPolicy {
         // pending store values).
         let good_state = lane.arch[good].clone();
         lane.arch[bad].copy_from(&good_state);
-        for p in lane.pending.iter_mut() {
-            if p.present[good] {
-                p.value[bad] = p.value[good];
-                p.present[bad] = true;
-            } else if p.present[bad] {
-                // The erroneous side's unmatched entries are overwritten;
-                // the good core will still produce them — drop the bad
-                // copy's value and let the good one define the pair.
-                p.present[bad] = false;
-            }
-        }
+        // The erroneous side's unmatched entries are overwritten; the
+        // good core will still produce them — the good copy defines the
+        // pair.
+        lane.pending.sync_replica(good, bad);
         // Newly matched stores commit architecturally.
         lane.commit_matched_pending();
         match self.ucfg.recovery_mode {
@@ -216,10 +222,13 @@ impl UnsyncPolicy {
             }
         }
 
-        // 6: both cores resume.
+        // 6: both cores resume. A second fault handled in the same
+        // `after_instruction` call reads the lane clock before the
+        // driver's next refresh, so raise the cache here.
         for e in lane.engines.iter_mut() {
             e.stall_until(recovery_end);
         }
+        lane.bump_clock(recovery_end);
         lane.events.emit(TraceEventKind::RecoveryStart);
         lane.events
             .emit_value(TraceEventKind::RecoveryEnd, recovery_end - now);
@@ -297,12 +306,7 @@ impl RedundancyPolicy for UnsyncPolicy {
             crate::cb::DrainPolicy::BothComplete => {
                 // Both sides present ⇒ one copy is architecturally
                 // committed (drain scheduled inside `push`).
-                if let Some(pos) = lane
-                    .pending
-                    .iter()
-                    .position(|p| p.seq == seq && p.present[0] && p.present[1])
-                {
-                    let p = lane.pending.remove(pos);
+                if let Some(p) = lane.pending.take_matched(seq) {
                     lane.committed_mem.write(p.addr[0], p.value[0]);
                 }
             }
@@ -311,14 +315,14 @@ impl RedundancyPolicy for UnsyncPolicy {
                 // copy disagrees, the disagreement is discovered too
                 // late: the wrong value may be architectural
                 // (silent-corruption window).
-                let p = *lane.pending.iter().find(|p| p.seq == seq).expect("pushed");
+                let p = *lane.pending.get(seq).expect("pushed");
                 if !(p.present[0] && p.present[1]) {
                     lane.committed_mem.write(p.addr[core], p.value[core]);
                 } else {
                     if p.value[0] != p.value[1] {
                         lane.events.emit(TraceEventKind::SilentFault);
                     }
-                    lane.pending.retain(|q| q.seq != seq);
+                    lane.pending.remove(seq);
                 }
             }
         }
@@ -427,9 +431,9 @@ impl RedundancyPolicy for UnsyncPolicy {
                 let bit = (f.site.bit_offset % 64) as u32;
                 lane.arch[bad].regs_mut()[reg] ^= 1 << bit;
             }
-            for p in lane.pending.iter_mut() {
-                if f.site.target == FaultTarget::Lsq && p.present[bad] {
-                    p.value[bad] ^= 1 << (f.site.bit_offset % 64);
+            if f.site.target == FaultTarget::Lsq {
+                for v in lane.pending.values_mut(bad) {
+                    *v ^= 1 << (f.site.bit_offset % 64);
                 }
             }
 

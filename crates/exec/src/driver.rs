@@ -23,23 +23,10 @@ use unsync_sim::{CoreConfig, OooEngine};
 
 use crate::event::{EventStream, TraceEventKind};
 use crate::outcome::OutcomeCore;
+use crate::pending::PendingStores;
 use crate::policy::{RedundancyPolicy, SegmentVerdict};
 
-/// One store executed but not yet architecturally committed, tracked
-/// per replica pair. `addr`/`value`/`present` are indexed by replica
-/// (replicas beyond the second manage agreement in their policy).
-#[derive(Debug, Clone, Copy)]
-pub struct PendingStore {
-    /// The store instruction's sequence number.
-    pub seq: u64,
-    /// Word-aligned effective address per replica (they differ only
-    /// under address-translation faults).
-    pub addr: [u64; 2],
-    /// Store value per replica.
-    pub value: [u64; 2],
-    /// Which replicas have produced their copy.
-    pub present: [bool; 2],
-}
+pub use crate::pending::PendingStore;
 
 /// The per-lane mutable state the driver threads through a run: the
 /// engines, the functional layer, the event stream, and the outcome
@@ -56,11 +43,14 @@ pub struct LaneState {
     /// The lane's committed (agreed) memory image.
     pub committed_mem: ArchMemory,
     /// Stores executed but not yet committed (see [`PendingStore`]).
-    pub pending: Vec<PendingStore>,
+    pub pending: PendingStores,
     /// The lane's structured trace-event stream.
     pub events: EventStream,
     /// The outcome counters being accumulated.
     pub out: OutcomeCore,
+    /// Cached wall clock — `max` over the engines, maintained by the
+    /// driver (see [`LaneState::now`]).
+    clock: u64,
 }
 
 impl LaneState {
@@ -72,15 +62,40 @@ impl LaneState {
                 .collect(),
             arch: (0..replicas).map(|_| ArchState::new()).collect(),
             committed_mem: ArchMemory::new(),
-            pending: Vec::new(),
+            pending: PendingStores::new(),
             events: EventStream::new(),
             out: OutcomeCore::default(),
+            clock: 0,
         }
     }
 
     /// The lane's wall clock: the furthest-ahead replica's time.
+    ///
+    /// Served from a cache so the `run_system` scheduler (which reads
+    /// it per instruction per lane) does not recompute the max over
+    /// engines. The driver refreshes the cache after every point that
+    /// can advance an engine — feeds, the per-core policy callbacks,
+    /// `after_instruction`/`begin_attempt`/`end_segment`, and
+    /// finalization; policies that stall engines outside those windows
+    /// (e.g. mid-recovery) call [`LaneState::bump_clock`].
     pub fn now(&self) -> u64 {
-        self.engines.iter().map(|e| e.now()).max().unwrap_or(0)
+        debug_assert_eq!(
+            self.clock,
+            self.engines.iter().map(|e| e.now()).max().unwrap_or(0),
+            "lane clock cache out of sync"
+        );
+        self.clock
+    }
+
+    /// Recomputes the cached wall clock from the engines.
+    pub fn sync_clock(&mut self) {
+        self.clock = self.engines.iter().map(|e| e.now()).max().unwrap_or(0);
+    }
+
+    /// Raises the cached wall clock to `cycle` (engine clocks only move
+    /// forward, so a known lower bound never needs the full recompute).
+    pub fn bump_clock(&mut self, cycle: u64) {
+        self.clock = self.clock.max(cycle);
     }
 
     /// Commits every pending store both replicas have produced (writes
@@ -91,14 +106,7 @@ impl LaneState {
             committed_mem,
             ..
         } = self;
-        pending.retain(|p| {
-            if p.present[0] && p.present[1] {
-                committed_mem.write(p.addr[0], p.value[0]);
-                false
-            } else {
-                true
-            }
-        });
+        pending.commit_matched(|addr, value| committed_mem.write(addr, value));
     }
 }
 
@@ -137,13 +145,40 @@ impl RedundantDriver {
         trace: &TraceProgram,
         faults: &[PairFault],
     ) -> RunResult {
+        self.run_with_golden(policy, trace, faults, None)
+    }
+
+    /// Like [`RedundantDriver::run`], but verifying the final memory
+    /// image against a caller-supplied golden image instead of
+    /// re-executing the golden run. Fault campaigns re-run one trace
+    /// hundreds of times; computing [`golden_run`] once and passing it
+    /// here removes that per-run cost. `None` falls back to computing
+    /// it (the golden of a trace is unique, so the result is identical).
+    pub fn run_with_golden<P: RedundancyPolicy>(
+        &self,
+        policy: &mut P,
+        trace: &TraceProgram,
+        faults: &[PairFault],
+        golden: Option<&ArchMemory>,
+    ) -> RunResult {
         assert!(
             faults.windows(2).all(|w| w[0].at <= w[1].at),
             "faults must be sorted"
         );
         let n = policy.replicas();
         assert!(faults.iter().all(|f| f.core < n), "fault core out of range");
-        let golden = policy.verify_golden().then(|| golden_run(trace).1);
+        let computed: Option<ArchMemory>;
+        let golden: Option<&ArchMemory> = if policy.verify_golden() {
+            match golden {
+                Some(g) => Some(g),
+                None => {
+                    computed = Some(golden_run(trace).1);
+                    computed.as_ref()
+                }
+            }
+        } else {
+            None
+        };
         let mut mem = MemSystem::new(self.hierarchy, n, policy.l1_write_policy());
         let mut lane = LaneState::new(self.ccfg, n, 0);
         let insts = trace.insts();
@@ -153,10 +188,8 @@ impl RedundantDriver {
             "prepare_faults must keep the schedule sorted"
         );
         self.drive_lane(policy, &mut mem, &mut lane, insts, &fault_list);
-        unsync_sim::metrics::global()
-            .counter(&format!("{}.runs", policy.name()))
-            .inc();
-        self.finalize(policy, &mut mem, &mut lane, golden.as_ref());
+        crate::event::scheme_counters(policy.name()).runs.inc();
+        self.finalize(policy, &mut mem, &mut lane, golden);
         RunResult {
             out: lane.out,
             events: lane.events,
@@ -190,13 +223,17 @@ impl RedundantDriver {
         // Always advance the lane whose cores are furthest behind, so
         // requests reach the shared L2 (whose MSHR bookkeeping assumes
         // roughly non-decreasing times) in realistic order even when
-        // one lane runs much faster than another.
+        // one lane runs much faster than another. Only the stepped
+        // lane's clock changes, so a min-heap over (clock, lane) keyed
+        // on the cached lane clocks replaces the O(lanes) laggard scan;
+        // `Reverse` lexicographic order pops the smallest clock with
+        // lowest-lane-index tie-breaking, exactly the old `min_by_key`.
         let mut idx = vec![0usize; lanes];
-        loop {
-            let next = (0..lanes)
-                .filter(|&p| idx[p] < traces[p].len())
-                .min_by_key(|&p| lane_states[p].now());
-            let Some(p) = next else { break };
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = (0..lanes)
+            .filter(|&p| !traces[p].is_empty())
+            .map(|p| std::cmp::Reverse((lane_states[p].now(), p)))
+            .collect();
+        while let Some(std::cmp::Reverse((_, p))) = heap.pop() {
             let inst = &traces[p].insts()[idx[p]];
             let seq = idx[p] as u64;
             self.step(
@@ -209,14 +246,16 @@ impl RedundantDriver {
                 true,
             );
             policies[p].after_instruction(&mut mem, &mut lane_states[p], inst, seq, &[], true);
+            lane_states[p].sync_clock();
             lane_states[p].out.committed += 1;
             idx[p] += 1;
+            if idx[p] < traces[p].len() {
+                heap.push(std::cmp::Reverse((lane_states[p].now(), p)));
+            }
         }
 
         if let Some(first) = policies.first() {
-            unsync_sim::metrics::global()
-                .counter(&format!("{}.runs", first.name()))
-                .inc();
+            crate::event::scheme_counters(first.name()).runs.inc();
         }
         let mut results = Vec::with_capacity(lanes);
         for (p, mut lane) in lane_states.into_iter().enumerate() {
@@ -260,17 +299,21 @@ impl RedundantDriver {
                     lane.pending.clear();
                 }
                 policy.begin_attempt(lane, attempt);
+                lane.sync_clock();
                 for (k, inst) in insts[start..end].iter().enumerate() {
                     let seq = (start + k) as u64;
                     self.step(policy, mem, lane, inst, seq, seg_faults, attempt == 0);
                     policy.after_instruction(mem, lane, inst, seq, seg_faults, attempt == 0);
+                    lane.sync_clock();
                 }
-                match policy.end_segment(mem, lane, insts, start, end, attempt) {
+                let verdict = policy.end_segment(mem, lane, insts, start, end, attempt);
+                lane.sync_clock();
+                match verdict {
                     SegmentVerdict::Commit | SegmentVerdict::Abandon => {
                         if policy.rolls_back() {
                             // Verified (or abandoned): release one
                             // instance of each store.
-                            for p in lane.pending.drain(..) {
+                            for p in lane.pending.drain() {
                                 lane.committed_mem.write(p.addr[0], p.value[0]);
                             }
                         }
@@ -306,6 +349,7 @@ impl RedundantDriver {
     ) {
         for core in 0..lane.engines.len() {
             let timing = lane.engines[core].feed(inst, mem, policy.hooks_mut(core));
+            lane.bump_clock(lane.engines[core].now());
 
             policy.pre_execute(lane, inst, core, seq, faults, first_attempt);
             let raw = inst.mem.map(|m| m.addr).unwrap_or(0);
@@ -314,11 +358,7 @@ impl RedundantDriver {
             // then committed memory.
             let loaded = if inst.op.is_load() {
                 let fwd = if policy.uses_pending() {
-                    lane.pending
-                        .iter()
-                        .rev()
-                        .find(|p| p.present[core] && p.addr[core] == (addr & !7))
-                        .map(|p| p.value[core])
+                    lane.pending.forward(core, addr & !7)
                 } else {
                     None
                 };
@@ -331,25 +371,10 @@ impl RedundantDriver {
             result = policy.transform_result(lane, inst, core, seq, result, faults, first_attempt);
             if inst.op.is_store() {
                 if policy.uses_pending() {
-                    match lane.pending.iter_mut().find(|p| p.seq == seq) {
-                        Some(p) => {
-                            p.addr[core] = addr & !7;
-                            p.value[core] = result;
-                            p.present[core] = true;
-                        }
-                        None => {
-                            let mut p = PendingStore {
-                                seq,
-                                addr: [addr & !7; 2],
-                                value: [result; 2],
-                                present: [false; 2],
-                            };
-                            p.present[core] = true;
-                            lane.pending.push(p);
-                        }
-                    }
+                    lane.pending.record(core, seq, addr & !7, result);
                 }
                 policy.store_executed(mem, lane, inst, core, seq, addr, result, timing);
+                lane.bump_clock(lane.engines[core].now());
             }
             if let Some(d) = inst.arch_dest() {
                 lane.arch[core].write(d, result);
@@ -367,6 +392,7 @@ impl RedundantDriver {
         lane: &mut LaneState,
         golden: Option<&ArchMemory>,
     ) {
+        lane.sync_clock();
         lane.out.cycles = lane.now();
         policy.finish(mem, lane);
 
@@ -385,11 +411,10 @@ impl RedundantDriver {
 
         // Publish run aggregates once per run (never per instruction —
         // the lane loop is the hot path).
-        let m = unsync_sim::metrics::global();
         let name = policy.name();
-        m.counter(&format!("{name}.instructions"))
-            .add(lane.out.committed);
-        m.counter(&format!("{name}.cycles")).add(lane.out.cycles);
+        let counters = crate::event::scheme_counters(name);
+        counters.instructions.add(lane.out.committed);
+        counters.cycles.add(lane.out.cycles);
         lane.events.publish(name);
     }
 }

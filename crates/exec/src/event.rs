@@ -8,6 +8,11 @@
 //!
 //! [`OutcomeCore`]: crate::OutcomeCore
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use unsync_sim::metrics::Counter;
+
 /// How many recent events the stream retains for inspection.
 const RECENT_CAP: usize = 64;
 
@@ -107,6 +112,49 @@ impl TraceEventKind {
     }
 }
 
+/// A scheme's counter handles, resolved against the global registry
+/// once and reused for every publish of that scheme. Registry handles
+/// are update-lock-free and survive [`Registry::reset`], so caching
+/// them removes the per-run `format!` + registry lock per kind that
+/// [`EventStream::publish`] (and the driver's run/instruction/cycle
+/// counters) used to pay.
+///
+/// [`Registry::reset`]: unsync_sim::metrics::Registry::reset
+pub(crate) struct SchemeCounters {
+    /// One counter per [`TraceEventKind`], in `repr` order.
+    pub kinds: [Counter; KINDS.len()],
+    /// `<scheme>.recovery_stall_cycles`.
+    pub recovery_stall: Counter,
+    /// `<scheme>.runs`.
+    pub runs: Counter,
+    /// `<scheme>.instructions`.
+    pub instructions: Counter,
+    /// `<scheme>.cycles`.
+    pub cycles: Counter,
+}
+
+/// The (cached) counter handles for `scheme`.
+pub(crate) fn scheme_counters(scheme: &str) -> Arc<SchemeCounters> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<SchemeCounters>>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("scheme counter cache poisoned");
+    if let Some(c) = cache.get(scheme) {
+        return Arc::clone(c);
+    }
+    let m = unsync_sim::metrics::global();
+    let c = Arc::new(SchemeCounters {
+        kinds: KINDS.map(|k| m.counter(&format!("{scheme}.{}", k.metric_suffix()))),
+        recovery_stall: m.counter(&format!("{scheme}.recovery_stall_cycles")),
+        runs: m.counter(&format!("{scheme}.runs")),
+        instructions: m.counter(&format!("{scheme}.instructions")),
+        cycles: m.counter(&format!("{scheme}.cycles")),
+    });
+    cache.insert(scheme.to_string(), Arc::clone(&c));
+    c
+}
+
 /// One emitted event: the kind plus its value payload (a stall length,
 /// a drain count — `0` for pure occurrences).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,9 +217,9 @@ impl EventStream {
     }
 
     /// Publishes every non-zero kind to the metrics registry under
-    /// `<scheme>.<suffix>`.
+    /// `<scheme>.<suffix>`, through the per-scheme handle cache.
     pub fn publish(&self, scheme: &str) {
-        let m = unsync_sim::metrics::global();
+        let c = scheme_counters(scheme);
         for kind in KINDS {
             let k = kind as usize;
             if self.counts[k] == 0 {
@@ -182,14 +230,12 @@ impl EventStream {
             } else {
                 self.counts[k]
             };
-            m.counter(&format!("{scheme}.{}", kind.metric_suffix()))
-                .add(v);
+            c.kinds[k].add(v);
         }
         // Recoveries publish both the count (above) and the stall total.
         let stall = self.sum(TraceEventKind::RecoveryEnd);
         if stall > 0 {
-            m.counter(&format!("{scheme}.recovery_stall_cycles"))
-                .add(stall);
+            c.recovery_stall.add(stall);
         }
     }
 }

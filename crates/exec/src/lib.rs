@@ -40,12 +40,14 @@
 pub mod driver;
 pub mod event;
 pub mod outcome;
+pub mod pending;
 pub mod policy;
 pub mod schemes;
 
-pub use driver::{LaneState, PendingStore, RedundantDriver, RunResult};
+pub use driver::{LaneState, RedundantDriver, RunResult};
 pub use event::{EventStream, TraceEvent, TraceEventKind};
 pub use outcome::OutcomeCore;
+pub use pending::{PendingStore, PendingStores};
 pub use policy::{RedundancyPolicy, SegmentVerdict};
 pub use schemes::{
     FlexConfig, FlexGranularityPolicy, FlexOutcome, FlexPair, SecdedOnlyCore, SecdedOnlyOutcome,

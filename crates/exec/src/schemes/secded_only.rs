@@ -145,6 +145,10 @@ impl SecdedOnlyPolicy {
                 for e in lane.engines.iter_mut() {
                     e.stall_until(stall);
                 }
+                // This can run mid-step (from a transform callback), so
+                // the driver won't refresh the clock cache until the
+                // instruction completes.
+                lane.bump_clock(stall);
                 true
             }
         }

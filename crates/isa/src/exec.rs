@@ -8,7 +8,8 @@
 //! "golden" [`ArchState`]+[`ArchMemory`] run defines correct execution;
 //! fault-injection runs are compared against it bit-for-bit.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -132,14 +133,77 @@ impl ArchState {
     }
 }
 
+/// Words per [`ArchMemory`] page (4 KiB of 8-byte words).
+const PAGE_WORDS: usize = 512;
+/// Address bits below the page id: 3 (word) + 9 (word-in-page).
+const PAGE_SHIFT: u64 = 12;
+
+/// A fast non-cryptographic hasher for page ids (FxHash-style multiply
+/// mix) — page keys are small integers, so `SipHash`'s DoS resistance
+/// buys nothing on the per-load/per-store path.
+#[derive(Debug, Clone, Default)]
+pub struct PageIdHasher {
+    hash: u64,
+}
+
+impl PageIdHasher {
+    #[inline]
+    fn add(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for PageIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+}
+
+/// One 512-word page: a dense word array plus a written-word bitmask
+/// (unwritten slots stay zero, so derived equality over the map is
+/// exactly "same written words, same values").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Page {
+    words: Box<[u64; PAGE_WORDS]>,
+    written: [u64; PAGE_WORDS / 64],
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            words: Box::new([0; PAGE_WORDS]),
+            written: [0; PAGE_WORDS / 64],
+        }
+    }
+}
+
 /// Sparse 8-byte-granular architectural memory.
 ///
 /// Addresses are rounded down to 8-byte alignment. Unwritten locations
 /// read as a deterministic hash of their address, so two independent
 /// golden runs always agree.
+///
+/// Storage is paged: a hash map of 512-word pages keyed by
+/// `addr >> 12`, so the per-load/per-store path is one integer-hash
+/// lookup plus an array index instead of a `BTreeMap` descent — this is
+/// hit on every load, store, commit, and golden verification of every
+/// run (see ARCHITECTURE.md, "The per-instruction hot path").
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArchMemory {
-    words: BTreeMap<u64, u64>,
+    pages: HashMap<u64, Page, BuildHasherDefault<PageIdHasher>>,
+    footprint: usize,
 }
 
 impl ArchMemory {
@@ -152,27 +216,43 @@ impl ArchMemory {
     #[inline]
     pub fn read(&self, addr: u64) -> u64 {
         let a = addr & !7;
-        self.words
-            .get(&a)
-            .copied()
-            .unwrap_or_else(|| splitmix64(a ^ 0xdead_beef_cafe_f00d))
+        let w = ((a >> 3) as usize) & (PAGE_WORDS - 1);
+        match self.pages.get(&(a >> PAGE_SHIFT)) {
+            Some(p) if (p.written[w >> 6] >> (w & 63)) & 1 == 1 => p.words[w],
+            _ => splitmix64(a ^ 0xdead_beef_cafe_f00d),
+        }
     }
 
     /// Writes the 8-byte word containing `addr`.
     #[inline]
     pub fn write(&mut self, addr: u64, value: u64) {
-        self.words.insert(addr & !7, value);
+        let a = addr & !7;
+        let w = ((a >> 3) as usize) & (PAGE_WORDS - 1);
+        let page = self.pages.entry(a >> PAGE_SHIFT).or_insert_with(Page::new);
+        let bit = 1u64 << (w & 63);
+        if page.written[w >> 6] & bit == 0 {
+            page.written[w >> 6] |= bit;
+            self.footprint += 1;
+        }
+        page.words[w] = value;
     }
 
     /// Number of distinct words ever written.
     #[inline]
     pub fn footprint_words(&self) -> usize {
-        self.words.len()
+        self.footprint
     }
 
     /// Iterates over written (address, value) pairs in address order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.words.iter().map(|(&a, &v)| (a, v))
+        let mut ids: Vec<u64> = self.pages.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().flat_map(move |id| {
+            let page = &self.pages[&id];
+            (0..PAGE_WORDS)
+                .filter(|&w| (page.written[w >> 6] >> (w & 63)) & 1 == 1)
+                .map(move |w| ((id << PAGE_SHIFT) | ((w as u64) << 3), page.words[w]))
+        })
     }
 }
 
@@ -345,5 +425,32 @@ mod tests {
         m.write(0x7, 2); // same word
         m.write(0x8, 3);
         assert_eq!(m.footprint_words(), 2);
+    }
+
+    #[test]
+    fn iter_is_address_ordered_across_pages() {
+        let mut m = ArchMemory::new();
+        m.write(0x9_010, 3); // a later page, inserted first
+        m.write(0x0_ff8, 1); // last word of page 0
+        m.write(0x1_000, 2); // first word of page 1
+        m.write(0x0_ffd, 4); // overwrites the 0xff8 word
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![(0xff8, 4), (0x1000, 2), (0x9010, 3)]
+        );
+        assert_eq!(m.footprint_words(), 3);
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let mut a = ArchMemory::new();
+        let mut b = ArchMemory::new();
+        for i in 0..2_000u64 {
+            a.write(i * 8, i);
+            b.write((1_999 - i) * 8, 1_999 - i);
+        }
+        assert_eq!(a, b);
+        b.write(0x100_0000, 7);
+        assert_ne!(a, b);
     }
 }

@@ -95,9 +95,22 @@ impl ReunionPair {
     /// Runs `trace` to completion with the given faults (empty slice =
     /// error-free execution). Faults must be sorted by `at`.
     pub fn run(&self, trace: &TraceProgram, faults: &[PairFault]) -> PairOutcome {
+        self.run_with_golden(trace, faults, None)
+    }
+
+    /// [`ReunionPair::run`] with a pre-computed golden memory image for
+    /// the final verification — fault campaigns re-running one trace
+    /// many times compute [`unsync_isa::golden_run`] once and pass it
+    /// here (see `unsync_bench::runner::golden_memory`).
+    pub fn run_with_golden(
+        &self,
+        trace: &TraceProgram,
+        faults: &[PairFault],
+        golden: Option<&unsync_isa::ArchMemory>,
+    ) -> PairOutcome {
         let driver = RedundantDriver::new(self.ccfg);
         let mut policy = ReunionPolicy::new(self.rcfg);
-        let res = driver.run(&mut policy, trace, faults);
+        let res = driver.run_with_golden(&mut policy, trace, faults, golden);
         PairOutcome {
             core: res.out,
             mismatches: res.events.count(TraceEventKind::FingerprintMismatch),
