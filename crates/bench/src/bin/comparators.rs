@@ -5,6 +5,38 @@
 //! SECDED-only non-redundant floor.
 
 use unsync_bench::{experiments, render, ExperimentConfig, RunLog};
+use unsync_core::{UnsyncConfig, UnsyncGroup, UnsyncPair, UnsyncSystem};
+use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
+use unsync_sim::CoreConfig;
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+/// Small faulted runs of the three runners the error-free comparator
+/// table does not exercise — a struck pair, a 3-way group, and a
+/// two-pair system — so one `comparators` invocation leaves metrics
+/// (including recovery MTTR histograms) for every scheme in the
+/// dashboard. These contribute nothing to the record rows: the golden
+/// comparator table stays byte-identical; the extra schemes surface
+/// only through the nondeterministic `meta` metrics snapshot.
+fn dashboard_coverage_runs(cfg: ExperimentConfig) {
+    let insts = cfg.inst_count.min(5_000);
+    let trace = WorkloadGen::new(Benchmark::Gzip, insts, cfg.seed).collect_trace();
+    let strike = |at| PairFault {
+        at,
+        core: 0,
+        site: FaultSite {
+            target: FaultTarget::RegisterFile,
+            bit_offset: 5,
+        },
+        kind: FaultKind::Single,
+    };
+    let faults = [strike(insts / 3), strike(2 * insts / 3)];
+    let ccfg = CoreConfig::table1();
+    let ucfg = UnsyncConfig::paper_baseline();
+    let _ = UnsyncPair::new(ccfg, ucfg).run(&trace, &faults);
+    let _ = UnsyncGroup::new(ccfg, ucfg, 3).run(&trace, &faults);
+    let short = WorkloadGen::new(Benchmark::Qsort, insts, cfg.seed).collect_trace();
+    let _ = UnsyncSystem::new(ccfg, ucfg).run(&[trace, short]);
+}
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -37,6 +69,7 @@ fn main() {
             row.secded_overhead * 100.0
         );
     }
+    dashboard_coverage_runs(cfg);
     if let Some(p) = log.write(1) {
         eprintln!("run log: {}", p.display());
     }

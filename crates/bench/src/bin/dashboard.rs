@@ -1,0 +1,116 @@
+//! The results dashboard: per-scheme event-rate tables from a results
+//! directory, and run-to-run diffing.
+//!
+//! ```text
+//! dashboard [DIR]                          # table (default: results dir)
+//! dashboard --diff A B [--tolerance T] [--meta]
+//! ```
+//!
+//! Exit codes: 0 = rendered / diff clean, 1 = diff found deltas,
+//! 2 = usage or I/O error. See EXPERIMENTS.md ("Results dashboard").
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unsync_bench::dashboard::{
+    diff_dirs, load_dir, render_scheme_table, scheme_rows, scheme_stats, DiffOptions,
+};
+use unsync_bench::runlog;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dashboard [DIR]");
+    eprintln!("       dashboard --diff DIR_A DIR_B [--tolerance T] [--meta]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff") {
+        return run_diff(&args[1..]);
+    }
+    let dir = match args.len() {
+        0 => runlog::results_dir(),
+        1 if !args[0].starts_with("--") => PathBuf::from(&args[0]),
+        _ => return usage(),
+    };
+    let logs = match load_dir(&dir) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dashboard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = scheme_rows(&scheme_stats(&logs));
+    if rows.is_empty() {
+        eprintln!(
+            "dashboard: no scheme metrics in {} ({} log files) — run an experiment first",
+            dir.display(),
+            logs.len()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "Per-scheme metrics from {} ({} log files)",
+        dir.display(),
+        logs.len()
+    );
+    print!("{}", render_scheme_table(&rows));
+    ExitCode::SUCCESS
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(t) = args.get(i + 1).and_then(|t| t.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if t.is_nan() || t < 0.0 {
+                    return usage();
+                }
+                opts.tolerance = t;
+                i += 2;
+            }
+            "--meta" => {
+                opts.include_meta = true;
+                i += 1;
+            }
+            a if !a.starts_with("--") => {
+                dirs.push(PathBuf::from(a));
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let [a, b] = dirs.as_slice() else {
+        return usage();
+    };
+    match diff_dirs(a, b, opts) {
+        Ok(report) if report.clean() => {
+            println!(
+                "diff clean: {} leaves compared within tolerance {}",
+                report.compared, opts.tolerance
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            println!(
+                "{} delta(s) over {} compared leaves (tolerance {}):",
+                report.deltas.len(),
+                report.compared,
+                opts.tolerance
+            );
+            for d in &report.deltas {
+                println!("  {d}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dashboard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

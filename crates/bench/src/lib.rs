@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dashboard;
 pub mod experiments;
 pub mod microbench;
 pub mod render;

@@ -71,6 +71,61 @@ impl Json {
         s
     }
 
+    /// Parses one JSON text back into a tree (the inverse of
+    /// [`Json::render`], for the dashboard reading run logs back).
+    ///
+    /// Numbers parse as `U64` when they are non-negative integers that
+    /// fit, `I64` for other integers, `F64` otherwise — matching what
+    /// [`Json::render`] produces for each variant. Returns `Err` with a
+    /// byte offset and message on malformed input; trailing non-space
+    /// input after the value is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object (`None` for non-objects or missing
+    /// keys; last insertion wins, like serde maps).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (`U64`/`I64`/`F64`; `None` otherwise).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The string content (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -110,6 +165,164 @@ impl Json {
             }
         }
     }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    let err = |pos: usize, what: &str| Err(format!("{what} at byte {pos}"));
+    match b.get(*pos) {
+        None => err(*pos, "unexpected end of input"),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return err(*pos, "expected ',' or ']'"),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return err(*pos, "expected ':'");
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return err(*pos, "expected ',' or '}'"),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        // The serializer only emits \u for control chars;
+                        // surrogate pairs are not produced, so reject them.
+                        s.push(
+                            char::from_u32(hex).ok_or_else(|| {
+                                format!("bad \\u escape at byte {pos}", pos = *pos)
+                            })?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let start = *pos;
+                let rest = std::str::from_utf8(&b[start..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                let ch = rest.chars().next().expect("non-empty");
+                s.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::U64(n));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Json::I64(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| format!("invalid number at byte {start}"))
 }
 
 fn write_escaped(s: &str, out: &mut String) {
@@ -238,6 +451,12 @@ impl RunLog {
 
     /// Stamps the nondeterministic `meta` line (worker count, wall-clock
     /// milliseconds, metrics snapshot) and returns the full log text.
+    ///
+    /// The meta line carries its own `schema` field, bumped to 2 when
+    /// the histogram/span metrics landed. The *header* stays at
+    /// `"schema":1` — it describes the deterministic record shape,
+    /// which is unchanged, and schema-1 consumers (and the golden
+    /// snapshots) compare those lines byte-for-byte.
     pub fn finish(mut self, workers: usize) -> String {
         let snapshot = metrics::global().snapshot();
         let mut ms = Json::obj();
@@ -246,6 +465,7 @@ impl RunLog {
         }
         let meta = Json::obj()
             .field("kind", "meta")
+            .field("schema", 2u64)
             .field("experiment", self.experiment.as_str())
             .field("workers", workers)
             .field("wall_clock_ms", self.started.elapsed().as_millis() as u64)
@@ -268,6 +488,7 @@ impl RunLog {
         let io = fs::create_dir_all(&dir)
             .and_then(|()| fs::File::create(&path))
             .and_then(|mut f| f.write_all(text.as_bytes()));
+        export_metrics();
         match io {
             Ok(()) => Some(path),
             Err(e) => {
@@ -275,6 +496,24 @@ impl RunLog {
                 None
             }
         }
+    }
+}
+
+/// Writes the global registry's Prometheus-style text rendering to the
+/// path in `UNSYNC_METRICS_FILE`, if set — metrics become scrapeable
+/// without parsing JSONL. Called from [`RunLog::write`], so every bench
+/// bin exports automatically; no-op (with a warning on I/O failure)
+/// otherwise, since metrics export must never fail an experiment.
+pub fn export_metrics() {
+    let Some(path) = std::env::var_os("UNSYNC_METRICS_FILE") else {
+        return;
+    };
+    let path = PathBuf::from(path);
+    if let Err(e) = fs::write(&path, metrics::global().render()) {
+        eprintln!(
+            "warning: could not write metrics file {}: {e}",
+            path.display()
+        );
     }
 }
 
@@ -313,10 +552,16 @@ fn metric_fields(snapshot: &[(String, MetricValue)]) -> Vec<(String, Json)> {
 
 /// Strips `meta` lines from JSONL text: the deterministic portion that
 /// determinism and golden tests compare.
+///
+/// Matches the line *framing* — a line that starts with
+/// `{"kind":"meta"` — not a substring search: the serializer always
+/// emits `kind` first on framed lines, and a record whose own fields
+/// merely contain that text (e.g. a string field holding JSON) must
+/// not be silently dropped from golden comparisons.
 pub fn deterministic_portion(jsonl: &str) -> String {
     let mut out = String::new();
     for line in jsonl.lines() {
-        if !line.contains("\"kind\":\"meta\"") {
+        if !line.starts_with("{\"kind\":\"meta\"") {
             out.push_str(line);
             out.push('\n');
         }
@@ -378,5 +623,87 @@ mod tests {
         for (a, b) in kept.lines().zip(det.iter()) {
             assert_eq!(a, b);
         }
+    }
+
+    /// Regression: a *record* whose fields happen to contain the text
+    /// `"kind":"meta"` (here, a field literally named `kind` with value
+    /// `meta`) must survive `deterministic_portion` — the old substring
+    /// match silently stripped it from golden comparisons.
+    #[test]
+    fn deterministic_portion_keeps_records_that_mention_meta() {
+        let cfg = ExperimentConfig {
+            inst_count: 10,
+            seed: 7,
+        };
+        let mut log = RunLog::start("unit3", cfg);
+        log.record(Json::obj().field("kind", "meta").field("v", 1u64));
+        log.record(Json::obj().field("note", r#"payload with "kind":"meta" inside"#));
+        let det = log.deterministic_lines().to_vec();
+        assert_eq!(det.len(), 3); // header + 2 records
+        let text = log.finish(1);
+        let kept = deterministic_portion(&text);
+        assert_eq!(kept.lines().count(), 3, "records were wrongly stripped");
+        for (a, b) in kept.lines().zip(det.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    /// The meta line is schema 2 (histogram/span metrics); the header —
+    /// the deterministic record shape schema-1 consumers compare — is
+    /// unchanged.
+    #[test]
+    fn meta_is_schema_2_and_header_stays_schema_1() {
+        let cfg = ExperimentConfig {
+            inst_count: 10,
+            seed: 7,
+        };
+        let text = RunLog::start("unit4", cfg).finish(1);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with(r#"{"kind":"header","experiment":"unit4","schema":1"#));
+        let meta = Json::parse(lines.last().expect("meta line")).expect("meta parses");
+        assert_eq!(meta.get("kind").and_then(Json::as_str), Some("meta"));
+        assert_eq!(meta.get("schema").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_json() {
+        let j = Json::obj()
+            .field("b", 1u64)
+            .field("neg", -3i64)
+            .field("a", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .field("x", 0.5f64)
+            .field("big", u64::MAX)
+            .field("s", "q\"\\\n\t\u{1}π")
+            .field("empty_arr", Json::Arr(vec![]))
+            .field("empty_obj", Json::obj());
+        let parsed = Json::parse(&j.render()).expect("round trip parses");
+        assert_eq!(parsed, j);
+        // Accessors.
+        assert_eq!(parsed.get("b").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-3.0));
+        assert_eq!(parsed.get("missing"), None);
+        assert_eq!(Json::Null.get("b"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a":1,}"#).is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_scientific_floats() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5e3 , -7 ] } ").expect("parses");
+        let arr = match v.get("a") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr[0], Json::U64(1));
+        assert_eq!(arr[1], Json::F64(2500.0));
+        assert_eq!(arr[2], Json::I64(-7));
     }
 }

@@ -202,9 +202,16 @@ impl RedundancyPolicy for GroupPolicy {
         for e in lane.engines.iter_mut() {
             e.stall_until(recovery_end);
         }
-        lane.events.emit(TraceEventKind::RecoveryStart);
+        // Span stamps at the architectural boundaries (see
+        // `UnsyncPolicy::recover` for the pair-level analogue).
         lane.events
-            .emit_value(TraceEventKind::RecoveryEnd, recovery_end - now);
+            .emit_at(TraceEventKind::RecoveryStart, 0, stall_start);
+        lane.bump_clock(recovery_end);
+        lane.events.emit_at(
+            TraceEventKind::RecoveryEnd,
+            recovery_end - now,
+            recovery_end,
+        );
     }
 
     fn finish(&mut self, _mem: &mut MemSystem, lane: &mut LaneState) {

@@ -228,10 +228,18 @@ impl UnsyncPolicy {
         for e in lane.engines.iter_mut() {
             e.stall_until(recovery_end);
         }
-        lane.bump_clock(recovery_end);
-        lane.events.emit(TraceEventKind::RecoveryStart);
+        // Stamp the span boundaries at their architectural points: the
+        // procedure begins once detection + EIH latency elapse, and
+        // ends when both cores resume (`bump_clock` would otherwise
+        // clamp the start stamp up to `recovery_end`).
         lane.events
-            .emit_value(TraceEventKind::RecoveryEnd, recovery_end - now);
+            .emit_at(TraceEventKind::RecoveryStart, 0, stall_start);
+        lane.bump_clock(recovery_end);
+        lane.events.emit_at(
+            TraceEventKind::RecoveryEnd,
+            recovery_end - now,
+            recovery_end,
+        );
         recovery_end
     }
 }

@@ -87,15 +87,20 @@ impl LaneState {
         self.clock
     }
 
-    /// Recomputes the cached wall clock from the engines.
+    /// Recomputes the cached wall clock from the engines and mirrors it
+    /// into the event stream, so plain [`EventStream::emit`] calls
+    /// stamp the current cycle.
     pub fn sync_clock(&mut self) {
         self.clock = self.engines.iter().map(|e| e.now()).max().unwrap_or(0);
+        self.events.set_clock(self.clock);
     }
 
     /// Raises the cached wall clock to `cycle` (engine clocks only move
     /// forward, so a known lower bound never needs the full recompute).
+    /// Mirrored into the event stream like [`LaneState::sync_clock`].
     pub fn bump_clock(&mut self, cycle: u64) {
         self.clock = self.clock.max(cycle);
+        self.events.set_clock(self.clock);
     }
 
     /// Commits every pending store both replicas have produced (writes
@@ -265,6 +270,16 @@ impl RedundantDriver {
                 events: lane.events,
             });
         }
+        // System-level recovery concurrency: the fraction of recovery
+        // time during which two or more lanes were recovering at once
+        // (see `crate::spans::overlap_fraction`).
+        let all_episodes: Vec<crate::spans::Episode> = results
+            .iter()
+            .flat_map(|r| r.events.episodes().iter().copied())
+            .collect();
+        unsync_sim::metrics::global()
+            .gauge(&format!("{}.recovery_overlap_fraction", policies[0].name()))
+            .set(crate::spans::overlap_fraction(&all_episodes));
         (results, mem)
     }
 
@@ -415,6 +430,15 @@ impl RedundantDriver {
         let counters = crate::event::scheme_counters(name);
         counters.instructions.add(lane.out.committed);
         counters.cycles.add(lane.out.cycles);
+        // Recovery-episode distributions (see `crate::spans`): one MTTR
+        // observation per episode, one detection→recovery-start latency
+        // observation per episode that carries a detection stamp.
+        for ep in lane.events.episodes() {
+            counters.mttr.observe(ep.stall as f64);
+            if let Some(lat) = ep.detection_latency() {
+                counters.detect_latency.observe(lat as f64);
+            }
+        }
         lane.events.publish(name);
     }
 }

@@ -6,15 +6,48 @@
 //! instruction — the execution loop is the hot path, so the stream is
 //! plain per-kind accumulators plus a short ring of recent events).
 //!
+//! Every event carries a `cycle` stamp: the emitting lane's wall clock
+//! at the moment of emission. The driver mirrors the lane clock into
+//! the stream (see [`crate::LaneState::sync_clock`]), so the plain
+//! [`EventStream::emit`] / [`EventStream::emit_value`] calls stamp the
+//! current cycle for free; policies that know a more precise point (a
+//! recovery's stall start, a compare rendezvous) pass it explicitly via
+//! [`EventStream::emit_at`]. Stamps are clamped monotone per stream —
+//! an explicit cycle below the stream clock is raised to it — so the
+//! event sequence is always ordered in time.
+//!
+//! Two consumers ride on the stamps:
+//! * an incremental [`crate::spans::SpanTracker`] pairs recovery
+//!   start/end (and rollback) events into recovery *episodes*, giving
+//!   MTTR and detection→recovery latency distributions without keeping
+//!   the full event sequence;
+//! * an opt-in bounded *journal* (`UNSYNC_TRACE_JOURNAL=<cap>`, or any
+//!   non-numeric value for the default cap) retains the full stamped
+//!   sequence for offline reliability studies — the ring alone keeps
+//!   only the last `RECENT_CAP` (64) events.
+//!
 //! [`OutcomeCore`]: crate::OutcomeCore
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use unsync_sim::metrics::Counter;
+use unsync_sim::metrics::{Counter, Histogram};
+
+use crate::spans::{Episode, SpanStats, SpanTracker};
 
 /// How many recent events the stream retains for inspection.
 const RECENT_CAP: usize = 64;
+
+/// Journal capacity used when `UNSYNC_TRACE_JOURNAL` is set but not a
+/// number (e.g. `UNSYNC_TRACE_JOURNAL=1` keeps one event; `=on` keeps
+/// this many).
+const DEFAULT_JOURNAL_CAP: usize = 65_536;
+
+/// Bucket bounds (cycles) for the recovery-latency histograms every
+/// scheme publishes (`<scheme>.recovery_mttr_cycles`,
+/// `<scheme>.detection_to_recovery_cycles`).
+pub(crate) const LATENCY_HIST_BOUNDS: [f64; 6] =
+    [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
 
 /// One kind of trace event a redundancy scheme can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +158,23 @@ pub(crate) struct SchemeCounters {
     pub kinds: [Counter; KINDS.len()],
     /// `<scheme>.recovery_stall_cycles`.
     pub recovery_stall: Counter,
+    /// `<scheme>.window_occupancy_sum` — the summed store-buffer
+    /// occupancies observed at comparison-window boundaries
+    /// (`WindowCompared` publishes its count under `window_compares`;
+    /// the sum would otherwise be lost).
+    pub window_occupancy: Counter,
     /// `<scheme>.runs`.
     pub runs: Counter,
     /// `<scheme>.instructions`.
     pub instructions: Counter,
     /// `<scheme>.cycles`.
     pub cycles: Counter,
+    /// `<scheme>.recovery_mttr_cycles` — one observation per recovery
+    /// episode (its stall).
+    pub mttr: Histogram,
+    /// `<scheme>.detection_to_recovery_cycles` — one observation per
+    /// episode with a preceding detection stamp.
+    pub detect_latency: Histogram,
 }
 
 /// The (cached) counter handles for `scheme`.
@@ -147,57 +191,173 @@ pub(crate) fn scheme_counters(scheme: &str) -> Arc<SchemeCounters> {
     let c = Arc::new(SchemeCounters {
         kinds: KINDS.map(|k| m.counter(&format!("{scheme}.{}", k.metric_suffix()))),
         recovery_stall: m.counter(&format!("{scheme}.recovery_stall_cycles")),
+        window_occupancy: m.counter(&format!("{scheme}.window_occupancy_sum")),
         runs: m.counter(&format!("{scheme}.runs")),
         instructions: m.counter(&format!("{scheme}.instructions")),
         cycles: m.counter(&format!("{scheme}.cycles")),
+        mttr: m.histogram(
+            &format!("{scheme}.recovery_mttr_cycles"),
+            &LATENCY_HIST_BOUNDS,
+        ),
+        detect_latency: m.histogram(
+            &format!("{scheme}.detection_to_recovery_cycles"),
+            &LATENCY_HIST_BOUNDS,
+        ),
     });
     cache.insert(scheme.to_string(), Arc::clone(&c));
     c
 }
 
-/// One emitted event: the kind plus its value payload (a stall length,
-/// a drain count — `0` for pure occurrences).
+/// One emitted event: the kind, its value payload (a stall length, a
+/// drain count — `0` for pure occurrences), and the emitting lane's
+/// cycle stamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// What happened.
     pub kind: TraceEventKind,
     /// The event's value payload (kind-specific; `0` for occurrences).
     pub value: u64,
+    /// The emitting lane's wall clock when the event was emitted.
+    pub cycle: u64,
 }
 
-/// Per-kind accumulators plus a bounded ring of the most recent events.
-#[derive(Debug, Clone, Default)]
+/// The opt-in full-event journal: the first `cap` events, plus a count
+/// of how many were dropped once full (the prefix is kept — recovery
+/// episodes cluster early around injected faults, and a truncated tail
+/// is detectable through [`EventStream::journal_dropped`]).
+#[derive(Debug, Clone)]
+struct Journal {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    fn new(cap: usize) -> Self {
+        Journal {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// The journal capacity configured through `UNSYNC_TRACE_JOURNAL`
+/// (cached once per process): unset, empty, `0`, `off`, or `false`
+/// disable it; a number is the cap; anything else enables the default
+/// cap.
+fn env_journal_cap() -> Option<usize> {
+    static CAP: OnceLock<Option<usize>> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let v = std::env::var("UNSYNC_TRACE_JOURNAL").ok()?;
+        let t = v.trim();
+        if t.is_empty()
+            || t == "0"
+            || t.eq_ignore_ascii_case("off")
+            || t.eq_ignore_ascii_case("false")
+        {
+            return None;
+        }
+        Some(t.parse::<usize>().unwrap_or(DEFAULT_JOURNAL_CAP))
+    })
+}
+
+/// Per-kind accumulators plus a bounded ring of the most recent events,
+/// a recovery-span tracker, and (opt-in) the full stamped journal.
+#[derive(Debug, Clone)]
 pub struct EventStream {
     counts: [u64; KINDS.len()],
     sums: [u64; KINDS.len()],
     recent: Vec<TraceEvent>,
     next: usize,
+    /// The stream clock: the emitting lane's wall clock, mirrored in by
+    /// the driver; stamps are clamped to never run backwards.
+    clock: u64,
+    journal: Option<Journal>,
+    spans: SpanTracker,
+}
+
+impl Default for EventStream {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventStream {
-    /// An empty stream.
+    /// An empty stream (journal mode per `UNSYNC_TRACE_JOURNAL`).
     pub fn new() -> Self {
-        Self::default()
+        EventStream {
+            counts: [0; KINDS.len()],
+            sums: [0; KINDS.len()],
+            recent: Vec::new(),
+            next: 0,
+            clock: 0,
+            journal: env_journal_cap().map(Journal::new),
+            spans: SpanTracker::default(),
+        }
     }
 
-    /// Records an occurrence of `kind`.
+    /// An empty stream with a journal of at most `cap` events,
+    /// regardless of the environment (tests, programmatic captures).
+    pub fn with_journal(cap: usize) -> Self {
+        EventStream {
+            journal: Some(Journal::new(cap)),
+            ..Self::new()
+        }
+    }
+
+    /// Records an occurrence of `kind` at the current stream clock.
     pub fn emit(&mut self, kind: TraceEventKind) {
-        self.emit_value(kind, 0);
+        self.emit_at(kind, 0, self.clock);
     }
 
     /// Records an occurrence of `kind` carrying `value` (a stall
-    /// length, a drain count, …).
+    /// length, a drain count, …) at the current stream clock.
     pub fn emit_value(&mut self, kind: TraceEventKind, value: u64) {
+        self.emit_at(kind, value, self.clock);
+    }
+
+    /// Records an occurrence of `kind` carrying `value`, stamped at
+    /// `cycle` (clamped to the stream clock so stamps stay monotone;
+    /// the clock is raised to the stamp).
+    pub fn emit_at(&mut self, kind: TraceEventKind, value: u64, cycle: u64) {
+        let cycle = cycle.max(self.clock);
+        self.clock = cycle;
         let k = kind as usize;
         self.counts[k] += 1;
         self.sums[k] += value;
-        let ev = TraceEvent { kind, value };
+        let ev = TraceEvent { kind, value, cycle };
+        self.spans.observe(&ev);
+        if let Some(j) = &mut self.journal {
+            j.push(ev);
+        }
         if self.recent.len() < RECENT_CAP {
             self.recent.push(ev);
         } else {
             self.recent[self.next] = ev;
             self.next = (self.next + 1) % RECENT_CAP;
         }
+    }
+
+    /// Raises the stream clock to `cycle` (never lowers it). The driver
+    /// mirrors the lane clock here after every point that can advance
+    /// an engine, so plain [`emit`](EventStream::emit) stamps the
+    /// current cycle.
+    pub fn set_clock(&mut self, cycle: u64) {
+        self.clock = self.clock.max(cycle);
+    }
+
+    /// The stream clock (the stamp the next plain `emit` would carry).
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// How many events of `kind` were emitted.
@@ -214,6 +374,28 @@ impl EventStream {
     pub fn recent(&self) -> impl Iterator<Item = &TraceEvent> {
         let (tail, head) = self.recent.split_at(self.next.min(self.recent.len()));
         head.iter().chain(tail.iter())
+    }
+
+    /// The full stamped event journal, oldest first — `None` unless
+    /// journal mode is on (`UNSYNC_TRACE_JOURNAL` or
+    /// [`EventStream::with_journal`]).
+    pub fn journal(&self) -> Option<&[TraceEvent]> {
+        self.journal.as_ref().map(|j| j.events.as_slice())
+    }
+
+    /// How many events overflowed the journal cap (0 when disabled).
+    pub fn journal_dropped(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.dropped)
+    }
+
+    /// The recovery episodes paired so far (see [`crate::spans`]).
+    pub fn episodes(&self) -> &[Episode] {
+        self.spans.episodes()
+    }
+
+    /// Span-derived summary statistics over [`EventStream::episodes`].
+    pub fn span_stats(&self) -> SpanStats {
+        SpanStats::from_episodes(self.episodes())
     }
 
     /// Publishes every non-zero kind to the metrics registry under
@@ -237,5 +419,94 @@ impl EventStream {
         if stall > 0 {
             c.recovery_stall.add(stall);
         }
+        // Window compares publish count (above) and occupancy sum.
+        let occupancy = self.sum(TraceEventKind::WindowCompared);
+        if occupancy > 0 {
+            c.window_occupancy.add(occupancy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `recent()` yields oldest-first at every fill level around the
+    /// ring's wrap boundary.
+    #[test]
+    fn ring_orders_oldest_first_across_the_wrap() {
+        for total in [
+            RECENT_CAP - 1,
+            RECENT_CAP,
+            RECENT_CAP + 1,
+            3 * RECENT_CAP + 5,
+        ] {
+            let mut ev = EventStream::new();
+            for i in 0..total {
+                ev.emit_value(TraceEventKind::Detection, i as u64);
+            }
+            let got: Vec<u64> = ev.recent().map(|e| e.value).collect();
+            let expect_len = total.min(RECENT_CAP);
+            let first = total - expect_len;
+            let want: Vec<u64> = (first..total).map(|i| i as u64).collect();
+            assert_eq!(got, want, "total={total}");
+        }
+    }
+
+    #[test]
+    fn stamps_follow_the_stream_clock_and_stay_monotone() {
+        let mut ev = EventStream::new();
+        ev.emit(TraceEventKind::Detection); // clock 0
+        ev.set_clock(100);
+        ev.emit_value(TraceEventKind::CbDrain, 3); // clock 100
+        ev.emit_at(TraceEventKind::RecoveryStart, 0, 150);
+        // An explicit stamp below the clock is clamped up, not reordered.
+        ev.emit_at(TraceEventKind::RecoveryEnd, 60, 90);
+        ev.set_clock(40); // never lowers
+        ev.emit(TraceEventKind::SilentFault);
+        let stamps: Vec<u64> = ev.recent().map(|e| e.cycle).collect();
+        assert_eq!(stamps, vec![0, 100, 150, 150, 150]);
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ev.clock(), 150);
+    }
+
+    #[test]
+    fn journal_keeps_the_bounded_prefix_and_counts_drops() {
+        let mut ev = EventStream::with_journal(4);
+        for i in 0..6u64 {
+            ev.emit_value(TraceEventKind::Rollback, i);
+        }
+        let j = ev.journal().expect("journal on");
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.iter().map(|e| e.value).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert_eq!(ev.journal_dropped(), 2);
+        // Accumulators still saw everything.
+        assert_eq!(ev.count(TraceEventKind::Rollback), 6);
+    }
+
+    #[test]
+    fn journal_disabled_by_default_in_tests() {
+        // The test process does not set UNSYNC_TRACE_JOURNAL; the ring
+        // and accumulators must be unaffected by journal mode being off.
+        let mut ev = EventStream::new();
+        ev.emit(TraceEventKind::Detection);
+        assert_eq!(ev.journal_dropped(), 0);
+        assert_eq!(ev.count(TraceEventKind::Detection), 1);
+    }
+
+    #[test]
+    fn spans_pair_recovery_events_inline() {
+        let mut ev = EventStream::new();
+        ev.set_clock(10);
+        ev.emit(TraceEventKind::Detection);
+        ev.emit_at(TraceEventKind::RecoveryStart, 0, 25);
+        ev.emit_at(TraceEventKind::RecoveryEnd, 90, 100);
+        let eps = ev.episodes();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].detect, Some(10));
+        assert_eq!(eps[0].start, 25);
+        assert_eq!(eps[0].end, 100);
+        assert_eq!(eps[0].stall, 90);
+        assert_eq!(ev.span_stats().episodes, 1);
     }
 }

@@ -43,6 +43,7 @@ pub mod outcome;
 pub mod pending;
 pub mod policy;
 pub mod schemes;
+pub mod spans;
 
 pub use driver::{LaneState, RedundantDriver, RunResult};
 pub use event::{EventStream, TraceEvent, TraceEventKind};
@@ -53,3 +54,4 @@ pub use schemes::{
     FlexConfig, FlexGranularityPolicy, FlexOutcome, FlexPair, SecdedOnlyCore, SecdedOnlyOutcome,
     SecdedOnlyPolicy, TmrOutcome, TmrTriple, TmrVotePolicy,
 };
+pub use spans::{episodes_from, overlap_fraction, Episode, SpanStats, SpanTracker};

@@ -325,32 +325,41 @@ impl RedundancyPolicy for FlexGranularityPolicy {
     ) -> SegmentVerdict {
         // Both replicas rendezvous for the exchange; the comparison tax
         // is what makes fine windows expensive.
-        lane.events
-            .emit_value(TraceEventKind::WindowCompared, lane.pending.len() as u64);
-        let resume = lane.now() + self.fcfg.compare_latency as u64;
+        // Stamp boundary events at the window's comparison point (the
+        // stream clock can lag the engines until the driver's next
+        // refresh).
+        let boundary = lane.now();
+        lane.events.emit_at(
+            TraceEventKind::WindowCompared,
+            lane.pending.len() as u64,
+            boundary,
+        );
+        let resume = boundary + self.fcfg.compare_latency as u64;
         for e in lane.engines.iter_mut() {
             e.raise_dispatch_floor(resume);
         }
         if self.fps[0].peek() == self.fps[1].peek() {
             return SegmentVerdict::Commit;
         }
-        lane.events.emit(TraceEventKind::FingerprintMismatch);
+        lane.events
+            .emit_at(TraceEventKind::FingerprintMismatch, 0, boundary);
         // Every strike this boundary caught is one detection; the value
         // is its latency in instructions.
         for &strike in &self.pending_strikes {
             lane.events
-                .emit_value(TraceEventKind::Detection, end as u64 - strike);
+                .emit_at(TraceEventKind::Detection, end as u64 - strike, boundary);
         }
         self.pending_strikes.clear();
         if attempt >= MAX_ROLLBACK_RETRIES {
             // Persistent divergence (cross-window register strike):
             // abandon the window and resynchronize so the run proceeds.
-            lane.events.emit(TraceEventKind::Unrecoverable);
+            lane.events
+                .emit_at(TraceEventKind::Unrecoverable, 0, boundary);
             let resync = lane.arch[0].clone();
             lane.arch[1].copy_from(&resync);
             return SegmentVerdict::Abandon;
         }
-        lane.events.emit(TraceEventKind::Rollback);
+        lane.events.emit_at(TraceEventKind::Rollback, 0, boundary);
         let now = lane.now() + self.fcfg.rollback_penalty as u64;
         for e in lane.engines.iter_mut() {
             e.flush_pipeline(now);

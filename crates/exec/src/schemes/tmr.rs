@@ -307,7 +307,8 @@ impl RedundancyPolicy for TmrVotePolicy {
             self.reset_vote();
             return SegmentVerdict::Commit;
         }
-        lane.events.emit(TraceEventKind::Detection);
+        lane.events
+            .emit_at(TraceEventKind::Detection, 0, lane.now());
         if struck_count >= 2 {
             // No trustworthy majority: identical corruptions outvote the
             // clean replica, distinct ones deadlock the vote. Apply the
@@ -358,8 +359,11 @@ impl RedundancyPolicy for TmrVotePolicy {
         for e in lane.engines.iter_mut() {
             e.stall_until(resume);
         }
+        lane.bump_clock(resume);
+        // Stamped at the post-repair resume point (the repair occupies
+        // the stall window ending there).
         lane.events
-            .emit_value(TraceEventKind::Corrected, CORRECTION_STALL);
+            .emit_at(TraceEventKind::Corrected, CORRECTION_STALL, resume);
         self.reset_vote();
         SegmentVerdict::Commit
     }

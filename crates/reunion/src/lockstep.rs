@@ -127,9 +127,12 @@ impl RedundancyPolicy for LockstepPolicy {
         self.locked_clock +=
             (lane.engines[0].now() - self.prev[0]).max(lane.engines[1].now() - self.prev[1]);
         let decoupled = lane.now();
-        lane.events.emit_value(
+        // Stamped at the locked clock: the stall exists only in locked
+        // time, after the decoupled run already finished.
+        lane.events.emit_at(
             TraceEventKind::CouplingStall,
             self.locked_clock.saturating_sub(decoupled),
+            self.locked_clock,
         );
         lane.out.cycles = self.locked_clock;
     }

@@ -345,12 +345,17 @@ impl RedundancyPolicy for ReunionPolicy {
             lane.engines[0].raise_dispatch_floor(resume);
             lane.engines[1].raise_dispatch_floor(resume);
         }
+        // Stamp comparison-driven events at the rendezvous point: the
+        // fingerprint check completes at `common`, not at whatever the
+        // stream clock last saw.
         if self.fps[0].peek() == self.fps[1].peek() {
-            lane.events.emit(TraceEventKind::FingerprintMatch);
+            lane.events
+                .emit_at(TraceEventKind::FingerprintMatch, 0, common);
             return SegmentVerdict::Commit;
         }
-        lane.events.emit(TraceEventKind::Detection);
-        lane.events.emit(TraceEventKind::FingerprintMismatch);
+        lane.events.emit_at(TraceEventKind::Detection, 0, common);
+        lane.events
+            .emit_at(TraceEventKind::FingerprintMismatch, 0, common);
         if attempt >= MAX_ROLLBACK_RETRIES {
             // Divergent architectural state: rollback restores each
             // core's own (corrupt) snapshot and can never converge.
@@ -358,14 +363,15 @@ impl RedundancyPolicy for ReunionPolicy {
             // registers so the run can proceed — exactly the
             // silent-corruption hazard §VI-D ascribes to Reunion's
             // limited ROEC.
-            lane.events.emit(TraceEventKind::Unrecoverable);
+            lane.events
+                .emit_at(TraceEventKind::Unrecoverable, 0, common);
             let resync = lane.arch[0].clone();
             lane.arch[1].copy_from(&resync);
             return SegmentVerdict::Abandon;
         }
         // Rollback: squash, restore the interval-start snapshot (the
         // driver restores the architectural snapshot), re-execute.
-        lane.events.emit(TraceEventKind::Rollback);
+        lane.events.emit_at(TraceEventKind::Rollback, 0, common);
         let now = lane.now() + self.rcfg.rollback_penalty as u64;
         for e in lane.engines.iter_mut() {
             e.flush_pipeline(now);
