@@ -3,7 +3,9 @@
 //! Benches each layer of the per-instruction path — the `ArchMemory`
 //! word store, the forwarding-heavy pending-store tracking exercised by
 //! rollback schemes, full pair runs, the multi-lane `run_system`
-//! scheduler at 2/8/16 lanes, and event/metric publication — and writes
+//! scheduler at 2/8/16 lanes, the discrete-event queue itself (bare
+//! components and a contended-L2 system run), and event/metric
+//! publication — and writes
 //! the per-bench statistics to `BENCH_driver.json` so successive PRs
 //! have a machine-readable perf trajectory (see EXPERIMENTS.md,
 //! "Driver microbenchmarks").
@@ -93,6 +95,74 @@ fn system_benches(results: &mut Vec<BenchResult>) {
     results.extend(g.into_results());
 }
 
+fn sched_benches(results: &mut Vec<BenchResult>) {
+    use unsync_exec::sched::{self, Component};
+    use unsync_exec::RedundantDriver;
+    use unsync_mem::{L2ContentionConfig, WritePolicy};
+
+    /// A toy component hopping `left` times with an id-dependent
+    /// stride: exercises the queue's pop/reschedule cycle with nothing
+    /// else on the profile.
+    struct Hopper {
+        id: usize,
+        t: u64,
+        left: u32,
+    }
+    impl Component for Hopper {
+        type Ctx = u64;
+        fn next_tick(&self) -> Option<u64> {
+            (self.left > 0).then_some(self.t)
+        }
+        fn tick(&mut self, _now: u64, ticks: &mut u64) {
+            *ticks += 1;
+            self.t += 1 + (self.id as u64 % 7);
+            self.left -= 1;
+        }
+    }
+
+    let mut g = Bench::group("sched");
+    g.bench("queue_cycle/64_components_16k_ticks", || {
+        let mut comps: Vec<Hopper> = (0..64)
+            .map(|id| Hopper {
+                id,
+                t: id as u64,
+                left: 256,
+            })
+            .collect();
+        let mut ticks = 0u64;
+        bb(sched::run(&mut comps, &mut ticks))
+    });
+    // The full driver loop under the banked-L2 model: scheduler +
+    // contention accounting + event draining on the hot path.
+    let traces: Vec<_> = (0..8usize)
+        .map(|p| {
+            WorkloadGen::new_at(
+                Benchmark::Gzip,
+                500,
+                11 + p as u64,
+                0x1000_0000 + p as u64 * 0x0100_0000,
+            )
+            .collect_trace()
+        })
+        .collect();
+    g.bench("contended_run/8_lanes_500", || {
+        let driver = RedundantDriver::new(CoreConfig::table1())
+            .with_l2_contention(L2ContentionConfig::many_core());
+        let mut policies: Vec<unsync_core::UnsyncPolicy> = (0..traces.len())
+            .map(|p| {
+                unsync_core::UnsyncPolicy::new(
+                    "microbench_sched",
+                    UnsyncConfig::paper_baseline(),
+                    WritePolicy::WriteThrough,
+                    2 * p,
+                )
+            })
+            .collect();
+        bb(driver.run_system(&mut policies, &traces)).0.len()
+    });
+    results.extend(g.into_results());
+}
+
 fn event_benches(results: &mut Vec<BenchResult>) {
     use unsync_exec::{EventStream, TraceEventKind};
     let mut g = Bench::group("events");
@@ -145,6 +215,7 @@ fn main() {
     mem_benches(&mut results);
     driver_benches(&mut results);
     system_benches(&mut results);
+    sched_benches(&mut results);
     event_benches(&mut results);
     assert!(
         !results.is_empty(),

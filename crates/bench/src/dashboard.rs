@@ -198,6 +198,9 @@ pub struct SchemeRow {
     pub recovery_stall_fraction: Option<f64>,
     /// Fraction of cycles lost to a full communication buffer.
     pub cb_full_fraction: Option<f64>,
+    /// Fraction of cycles requests spent waiting for contended L2 bank
+    /// ports (zero unless the banked-L2 model was enabled).
+    pub l2_contention_fraction: Option<f64>,
     /// Mean store-buffer occupancy at comparison-window boundaries.
     pub window_occupancy_mean: Option<f64>,
     /// MTTR percentiles (p50, p95, max bucket bound), when the scheme
@@ -232,6 +235,7 @@ pub fn scheme_rows(stats: &SchemeStats) -> Vec<SchemeRow> {
                 recoveries: get(m, "recoveries"),
                 recovery_stall_fraction: ratio(get(m, "recovery_stall_cycles")),
                 cb_full_fraction: ratio(get(m, "cb_full_stall_cycles")),
+                l2_contention_fraction: ratio(get(m, "l2_contention_stall_cycles")),
                 window_occupancy_mean: (compares > 0)
                     .then(|| get(m, "window_occupancy_sum") as f64 / compares as f64),
                 mttr,
@@ -265,7 +269,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
+        "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
         "scheme",
         "runs",
         "insts",
@@ -275,6 +279,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
         "recov",
         "stall%",
         "cbfull%",
+        "l2stl%",
         "w.occ",
         "mttr p50",
         "p95",
@@ -287,7 +292,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
+            "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
             r.scheme,
             r.runs,
             r.instructions,
@@ -297,6 +302,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
             r.recoveries,
             fmt_opt(r.recovery_stall_fraction.map(|f| f * 100.0), 3),
             fmt_opt(r.cb_full_fraction.map(|f| f * 100.0), 3),
+            fmt_opt(r.l2_contention_fraction.map(|f| f * 100.0), 3),
             fmt_opt(r.window_occupancy_mean, 1),
             p50,
             p95,

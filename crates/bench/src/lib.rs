@@ -19,6 +19,7 @@
 
 pub mod dashboard;
 pub mod experiments;
+pub mod lanesweep;
 pub mod microbench;
 pub mod render;
 pub mod runlog;
@@ -29,6 +30,7 @@ pub use experiments::{
     fig4, fig5, fig6, roec, scheme_values, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row,
     RoecReport, SchemeValuesRow, SerSweep,
 };
+pub use lanesweep::{run_sweep, sweep_point, LaneSweepConfig, LaneSweepRow};
 pub use runlog::{Json, RunLog};
 pub use runner::{baseline_cycles, job_seed, job_stream, Runner};
 pub use stats::{multi_seed, Summary};

@@ -12,19 +12,27 @@
 //! * [`RedundantDriver::run`] — one lane (a pair or N-way group)
 //!   executing one trace;
 //! * [`RedundantDriver::run_system`] — several lanes over one shared
-//!   memory system, interleaved advance-the-laggard (always step the
-//!   lane whose cores are furthest behind) so requests reach the
-//!   shared L2 in non-decreasing time order.
+//!   memory system, scheduled as discrete-event components
+//!   ([`crate::sched`]): each lane is woken exactly at its clock
+//!   (smallest first, lowest lane index on ties — the laggard rule),
+//!   so requests reach the shared L2 in non-decreasing time order and
+//!   stalled or finished lanes cost zero work between wake-ups.
+//!
+//! With [`RedundantDriver::with_l2_contention`], the shared L2 is
+//! banked ([`unsync_mem::L2Contention`]): bank conflicts delay the
+//! requesting lane and surface as cycle-stamped
+//! [`TraceEventKind::L2Contention`] events in that lane's stream.
 
 use unsync_fault::PairFault;
 use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
-use unsync_mem::{HierarchyConfig, MemSystem};
+use unsync_mem::{HierarchyConfig, L2ContentionConfig, MemSystem};
 use unsync_sim::{CoreConfig, OooEngine};
 
 use crate::event::{EventStream, TraceEventKind};
 use crate::outcome::OutcomeCore;
 use crate::pending::PendingStores;
 use crate::policy::{RedundancyPolicy, SegmentVerdict};
+use crate::sched::{self, Component};
 
 pub use crate::pending::PendingStore;
 
@@ -116,13 +124,19 @@ impl LaneState {
 }
 
 /// The result of driving one lane to completion.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares counters, event streams, and the committed
+/// memory image — the scheduler-equivalence tests lean on it to assert
+/// byte-identical behaviour across scheduler implementations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The shared outcome counters.
     pub out: OutcomeCore,
     /// The lane's trace-event stream (policies' outcome extensions are
     /// derived from it).
     pub events: EventStream,
+    /// The lane's final committed (agreed) memory image.
+    pub memory: ArchMemory,
 }
 
 /// The shared redundant-execution driver (see the [module docs]).
@@ -131,6 +145,7 @@ pub struct RunResult {
 pub struct RedundantDriver {
     ccfg: CoreConfig,
     hierarchy: HierarchyConfig,
+    l2_contention: Option<L2ContentionConfig>,
 }
 
 impl RedundantDriver {
@@ -139,6 +154,39 @@ impl RedundantDriver {
         RedundantDriver {
             ccfg,
             hierarchy: HierarchyConfig::table1(),
+            l2_contention: None,
+        }
+    }
+
+    /// Enables the banked shared-L2 contention model
+    /// ([`unsync_mem::L2Contention`]) on every memory system this
+    /// driver builds. Bank-conflict stalls delay the requesting lane
+    /// and are re-emitted as cycle-stamped
+    /// [`TraceEventKind::L2Contention`] events in that lane's stream.
+    pub fn with_l2_contention(mut self, cfg: L2ContentionConfig) -> Self {
+        self.l2_contention = Some(cfg);
+        self
+    }
+
+    /// A memory system for `cores` cores, with the contention model
+    /// applied when configured.
+    fn build_mem(&self, cores: usize, wp: unsync_mem::WritePolicy) -> MemSystem {
+        let mut mem = MemSystem::new(self.hierarchy, cores, wp);
+        if let Some(cfg) = self.l2_contention {
+            mem.enable_l2_contention(cfg);
+        }
+        mem
+    }
+
+    /// Drains the memory system's pending bank-conflict events into the
+    /// stepping lane's stream (called after every scheduled step, so the
+    /// events attribute to the lane that issued the requests).
+    fn drain_l2_events(mem: &mut MemSystem, lane: &mut LaneState) {
+        if let Some(events) = mem.l2_events_mut() {
+            for e in events.drain(..) {
+                lane.events
+                    .emit_at(TraceEventKind::L2Contention, e.stall, e.cycle);
+            }
         }
     }
 
@@ -184,7 +232,7 @@ impl RedundantDriver {
         } else {
             None
         };
-        let mut mem = MemSystem::new(self.hierarchy, n, policy.l1_write_policy());
+        let mut mem = self.build_mem(n, policy.l1_write_policy());
         let mut lane = LaneState::new(self.ccfg, n, 0);
         let insts = trace.insts();
         let fault_list = policy.prepare_faults(insts, faults.to_vec(), &mut lane.events);
@@ -198,15 +246,136 @@ impl RedundantDriver {
         RunResult {
             out: lane.out,
             events: lane.events,
+            memory: lane.committed_mem,
         }
     }
 
     /// Runs one per-instruction-policy lane per trace over a single
     /// shared memory system (lane `p` on cores `p*n .. p*n + n`),
-    /// advance-the-laggard interleaved. Returns the lane results plus
-    /// the memory system for system-level statistics (L2 miss rate,
-    /// coherence invalidations).
+    /// scheduled by the discrete-event queue in [`crate::sched`].
+    /// Returns the lane results plus the memory system for system-level
+    /// statistics (L2 miss rate, coherence invalidations).
     pub fn run_system<P: RedundancyPolicy>(
+        &self,
+        policies: &mut [P],
+        traces: &[TraceProgram],
+    ) -> (Vec<RunResult>, MemSystem) {
+        self.run_system_with_faults(policies, traces, &[])
+    }
+
+    /// Like [`RedundantDriver::run_system`], but striking the lanes
+    /// with per-lane fault schedules (`faults[p]` hits lane `p`, sorted
+    /// by strike point; an empty outer slice means no faults anywhere).
+    /// Faults are run through each policy's
+    /// [`RedundancyPolicy::prepare_faults`] and delivered to the
+    /// per-instruction callbacks of the instruction they strike, so
+    /// detection/recovery behaves exactly as in single-lane campaigns —
+    /// this is what lets the lane sweep report MTTR under contention.
+    pub fn run_system_with_faults<P: RedundancyPolicy>(
+        &self,
+        policies: &mut [P],
+        traces: &[TraceProgram],
+        faults: &[Vec<PairFault>],
+    ) -> (Vec<RunResult>, MemSystem) {
+        assert!(!traces.is_empty(), "at least one pair");
+        assert_eq!(policies.len(), traces.len(), "one policy per lane");
+        assert!(
+            faults.is_empty() || faults.len() == traces.len(),
+            "one fault schedule per lane (or none at all)"
+        );
+        let lanes = traces.len();
+        let n = policies[0].replicas();
+        let mut mem = self.build_mem(lanes * n, policies[0].l1_write_policy());
+        let goldens: Vec<Option<ArchMemory>> = traces
+            .iter()
+            .zip(policies.iter())
+            .map(|(t, pol)| pol.verify_golden().then(|| golden_run(t).1))
+            .collect();
+        let scheme = policies.first().map(|p| p.name());
+
+        // One scheduler component per lane. The event queue always
+        // advances the lane whose cores are furthest behind, so
+        // requests reach the shared L2 (whose MSHR bookkeeping assumes
+        // roughly non-decreasing times) in realistic order even when
+        // one lane runs much faster than another; ties pop the lowest
+        // lane index (the laggard rule), which is what keeps results
+        // byte-identical with the historical `min_by_key` scan
+        // (`run_system_reference`, pinned by `tests/sched_equivalence`).
+        let mut runners: Vec<LaneRunner<'_, P>> = policies
+            .iter_mut()
+            .zip(traces.iter())
+            .enumerate()
+            .map(|(p, (policy, trace))| {
+                let mut lane = LaneState::new(self.ccfg, n, p * n);
+                let lane_faults = match faults.get(p) {
+                    Some(f) if !f.is_empty() => {
+                        assert!(
+                            f.windows(2).all(|w| w[0].at <= w[1].at),
+                            "faults must be sorted"
+                        );
+                        assert!(f.iter().all(|f| f.core < n), "fault core out of range");
+                        let prepared =
+                            policy.prepare_faults(trace.insts(), f.clone(), &mut lane.events);
+                        debug_assert!(
+                            prepared.windows(2).all(|w| w[0].at <= w[1].at),
+                            "prepare_faults must keep the schedule sorted"
+                        );
+                        prepared
+                    }
+                    _ => Vec::new(),
+                };
+                LaneRunner {
+                    driver: self,
+                    policy,
+                    trace,
+                    lane,
+                    idx: 0,
+                    faults: lane_faults,
+                    next_fault: 0,
+                }
+            })
+            .collect();
+        sched::run(&mut runners, &mut mem);
+
+        if let Some(name) = scheme {
+            crate::event::scheme_counters(name).runs.inc();
+        }
+        let mut results = Vec::with_capacity(lanes);
+        for (runner, golden) in runners.into_iter().zip(goldens.iter()) {
+            let LaneRunner {
+                policy, mut lane, ..
+            } = runner;
+            self.finalize(policy, &mut mem, &mut lane, golden.as_ref());
+            results.push(RunResult {
+                out: lane.out,
+                events: lane.events,
+                memory: lane.committed_mem,
+            });
+        }
+        // System-level recovery concurrency: the fraction of recovery
+        // time during which two or more lanes were recovering at once
+        // (see `crate::spans::overlap_fraction`).
+        let all_episodes: Vec<crate::spans::Episode> = results
+            .iter()
+            .flat_map(|r| r.events.episodes().iter().copied())
+            .collect();
+        if let Some(name) = scheme {
+            unsync_sim::metrics::global()
+                .gauge(&format!("{name}.recovery_overlap_fraction"))
+                .set(crate::spans::overlap_fraction(&all_episodes));
+        }
+        (results, mem)
+    }
+
+    /// The historical `run_system` loop, kept as the differential-test
+    /// oracle: a linear `min_by_key` laggard scan over the lanes (no
+    /// event queue, no faults). `min_by_key` returns the *first*
+    /// minimum, i.e. the lowest lane index on clock ties — the exact
+    /// tie-break contract the event scheduler must preserve.
+    /// `tests/sched_equivalence.rs` asserts byte-identical results
+    /// between this and [`RedundantDriver::run_system`].
+    #[doc(hidden)]
+    pub fn run_system_reference<P: RedundancyPolicy>(
         &self,
         policies: &mut [P],
         traces: &[TraceProgram],
@@ -215,7 +384,7 @@ impl RedundantDriver {
         assert_eq!(policies.len(), traces.len(), "one policy per lane");
         let lanes = traces.len();
         let n = policies[0].replicas();
-        let mut mem = MemSystem::new(self.hierarchy, lanes * n, policies[0].l1_write_policy());
+        let mut mem = self.build_mem(lanes * n, policies[0].l1_write_policy());
         let mut lane_states: Vec<LaneState> = (0..lanes)
             .map(|p| LaneState::new(self.ccfg, n, p * n))
             .collect();
@@ -225,20 +394,11 @@ impl RedundantDriver {
             .map(|(t, pol)| pol.verify_golden().then(|| golden_run(t).1))
             .collect();
 
-        // Always advance the lane whose cores are furthest behind, so
-        // requests reach the shared L2 (whose MSHR bookkeeping assumes
-        // roughly non-decreasing times) in realistic order even when
-        // one lane runs much faster than another. Only the stepped
-        // lane's clock changes, so a min-heap over (clock, lane) keyed
-        // on the cached lane clocks replaces the O(lanes) laggard scan;
-        // `Reverse` lexicographic order pops the smallest clock with
-        // lowest-lane-index tie-breaking, exactly the old `min_by_key`.
         let mut idx = vec![0usize; lanes];
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = (0..lanes)
-            .filter(|&p| !traces[p].is_empty())
-            .map(|p| std::cmp::Reverse((lane_states[p].now(), p)))
-            .collect();
-        while let Some(std::cmp::Reverse((_, p))) = heap.pop() {
+        while let Some(p) = (0..lanes)
+            .filter(|&p| idx[p] < traces[p].len())
+            .min_by_key(|&p| lane_states[p].now())
+        {
             let inst = &traces[p].insts()[idx[p]];
             let seq = idx[p] as u64;
             self.step(
@@ -252,13 +412,10 @@ impl RedundantDriver {
             );
             policies[p].after_instruction(&mut mem, &mut lane_states[p], inst, seq, &[], true);
             lane_states[p].sync_clock();
+            Self::drain_l2_events(&mut mem, &mut lane_states[p]);
             lane_states[p].out.committed += 1;
             idx[p] += 1;
-            if idx[p] < traces[p].len() {
-                heap.push(std::cmp::Reverse((lane_states[p].now(), p)));
-            }
         }
-
         if let Some(first) = policies.first() {
             crate::event::scheme_counters(first.name()).runs.inc();
         }
@@ -268,11 +425,9 @@ impl RedundantDriver {
             results.push(RunResult {
                 out: lane.out,
                 events: lane.events,
+                memory: lane.committed_mem,
             });
         }
-        // System-level recovery concurrency: the fraction of recovery
-        // time during which two or more lanes were recovering at once
-        // (see `crate::spans::overlap_fraction`).
         let all_episodes: Vec<crate::spans::Episode> = results
             .iter()
             .flat_map(|r| r.events.episodes().iter().copied())
@@ -320,6 +475,7 @@ impl RedundantDriver {
                     self.step(policy, mem, lane, inst, seq, seg_faults, attempt == 0);
                     policy.after_instruction(mem, lane, inst, seq, seg_faults, attempt == 0);
                     lane.sync_clock();
+                    Self::drain_l2_events(mem, lane);
                 }
                 let verdict = policy.end_segment(mem, lane, insts, start, end, attempt);
                 lane.sync_clock();
@@ -440,6 +596,59 @@ impl RedundantDriver {
             }
         }
         lane.events.publish(name);
+    }
+}
+
+/// One lane as a discrete-event component: wakes at its cached lane
+/// clock, executes exactly one instruction across all replicas, and
+/// goes back to sleep at the advanced clock (or retires for good once
+/// its trace is exhausted). The shared [`MemSystem`] is the scheduler
+/// context, so memory-system time is only ever touched by the lane
+/// currently awake.
+struct LaneRunner<'a, P: RedundancyPolicy> {
+    driver: &'a RedundantDriver,
+    policy: &'a mut P,
+    trace: &'a TraceProgram,
+    lane: LaneState,
+    idx: usize,
+    /// The lane's prepared fault schedule, sorted by strike point.
+    faults: Vec<PairFault>,
+    /// Cursor into `faults`: first entry not yet delivered.
+    next_fault: usize,
+}
+
+impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
+    type Ctx = MemSystem;
+
+    fn next_tick(&self) -> Option<u64> {
+        (self.idx < self.trace.len()).then(|| self.lane.now())
+    }
+
+    fn tick(&mut self, _now: u64, mem: &mut MemSystem) {
+        let inst = &self.trace.insts()[self.idx];
+        let seq = self.idx as u64;
+        // Faults striking this instruction (strike points are
+        // instruction sequence indices, so the window is `at == seq`).
+        let lo = self.next_fault;
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].at <= seq {
+            self.next_fault += 1;
+        }
+        let inst_faults = &self.faults[lo..self.next_fault];
+        self.driver.step(
+            self.policy,
+            mem,
+            &mut self.lane,
+            inst,
+            seq,
+            inst_faults,
+            true,
+        );
+        self.policy
+            .after_instruction(mem, &mut self.lane, inst, seq, inst_faults, true);
+        self.lane.sync_clock();
+        RedundantDriver::drain_l2_events(mem, &mut self.lane);
+        self.lane.out.committed += 1;
+        self.idx += 1;
     }
 }
 

@@ -89,10 +89,14 @@ pub enum TraceEventKind {
     /// granularity schemes); the value is the store-buffer occupancy
     /// observed at the boundary.
     WindowCompared,
+    /// A shared-L2 bank conflict stalled this lane's request (contended
+    /// L2 model, [`unsync_mem::L2Contention`]); the value is the stall
+    /// in cycles.
+    L2Contention,
 }
 
 /// Every kind, in `repr` order (indexes the accumulator arrays).
-const KINDS: [TraceEventKind; 16] = [
+const KINDS: [TraceEventKind; 17] = [
     TraceEventKind::Detection,
     TraceEventKind::RecoveryStart,
     TraceEventKind::RecoveryEnd,
@@ -109,6 +113,7 @@ const KINDS: [TraceEventKind; 16] = [
     TraceEventKind::CouplingStall,
     TraceEventKind::Corrected,
     TraceEventKind::WindowCompared,
+    TraceEventKind::L2Contention,
 ];
 
 impl TraceEventKind {
@@ -132,6 +137,7 @@ impl TraceEventKind {
             TraceEventKind::CouplingStall => "coupling_stall_cycles",
             TraceEventKind::Corrected => "corrections",
             TraceEventKind::WindowCompared => "window_compares",
+            TraceEventKind::L2Contention => "l2_contention_stall_cycles",
         }
     }
 
@@ -140,7 +146,10 @@ impl TraceEventKind {
     pub fn publishes_sum(self) -> bool {
         matches!(
             self,
-            TraceEventKind::CbDrain | TraceEventKind::CbFullStall | TraceEventKind::CouplingStall
+            TraceEventKind::CbDrain
+                | TraceEventKind::CbFullStall
+                | TraceEventKind::CouplingStall
+                | TraceEventKind::L2Contention
         )
     }
 }
@@ -288,6 +297,22 @@ pub struct EventStream {
 impl Default for EventStream {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Two streams are equal when their *observable emission history*
+/// agrees: per-kind counts and sums, the recent-event ring in emission
+/// order, the stream clock, and the paired recovery episodes. The
+/// opt-in journal is environment-shaped (`UNSYNC_TRACE_JOURNAL`) and
+/// deliberately excluded — two identical executions must compare equal
+/// whether or not journaling was on.
+impl PartialEq for EventStream {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.sums == other.sums
+            && self.clock == other.clock
+            && self.recent().eq(other.recent())
+            && self.episodes() == other.episodes()
     }
 }
 

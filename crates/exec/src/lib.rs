@@ -42,6 +42,7 @@ pub mod event;
 pub mod outcome;
 pub mod pending;
 pub mod policy;
+pub mod sched;
 pub mod schemes;
 pub mod spans;
 
@@ -50,6 +51,7 @@ pub use event::{EventStream, TraceEvent, TraceEventKind};
 pub use outcome::OutcomeCore;
 pub use pending::{PendingStore, PendingStores};
 pub use policy::{RedundancyPolicy, SegmentVerdict};
+pub use sched::{Component, EventQueue};
 pub use schemes::{
     FlexConfig, FlexGranularityPolicy, FlexOutcome, FlexPair, SecdedOnlyCore, SecdedOnlyOutcome,
     SecdedOnlyPolicy, TmrOutcome, TmrTriple, TmrVotePolicy,

@@ -11,6 +11,7 @@ use unsync_isa::exec::splitmix64;
 use crate::bus::Bus;
 use crate::cache::{AccessKind, Cache, CacheStats, WritePolicy};
 use crate::config::HierarchyConfig;
+use crate::contention::{L2Contention, L2ContentionConfig, L2ContentionEvent};
 use crate::mshr::MshrFile;
 use crate::tlb::Tlb;
 
@@ -66,6 +67,9 @@ pub struct MemSystem {
     /// share drain path k, matching Fig. 1's single CB→L2 arrow per
     /// pair).
     drain_buses: Vec<Bus>,
+    /// Opt-in contended-L2 model (see [`crate::contention`]); `None`
+    /// keeps the flat Table I L2 and changes no access timing at all.
+    contention: Option<L2Contention>,
 }
 
 impl MemSystem {
@@ -93,7 +97,35 @@ impl MemSystem {
             l2_mshrs: MshrFile::new(cfg.l2.mshrs),
             fill_buses: (0..num_cores).map(|_| Bus::new()).collect(),
             drain_buses: (0..num_cores.div_ceil(2)).map(|_| Bus::new()).collect(),
+            contention: None,
         }
+    }
+
+    /// Turns on the contended shared-L2 model (see
+    /// [`crate::contention`]): banked access serialization plus an
+    /// MSHR-capacity override (`cfg.mshrs` replaces the Table I L2
+    /// MSHR count; any in-flight entries are discarded, so enable this
+    /// before issuing traffic).
+    pub fn enable_l2_contention(&mut self, cfg: L2ContentionConfig) {
+        self.l2_mshrs = MshrFile::new(cfg.mshrs);
+        self.contention = Some(L2Contention::new(cfg));
+    }
+
+    /// The contended-L2 model, when enabled.
+    pub fn l2_contention(&self) -> Option<&L2Contention> {
+        self.contention.as_ref()
+    }
+
+    /// The pending bank-conflict events, for the caller to drain and
+    /// re-emit as trace events (`None` when contention is disabled).
+    pub fn l2_events_mut(&mut self) -> Option<&mut Vec<L2ContentionEvent>> {
+        self.contention.as_mut().map(L2Contention::events_mut)
+    }
+
+    /// Outstanding shared-L2 misses after retiring completions at
+    /// `cycle` (bounded by the configured MSHR capacity).
+    pub fn l2_mshr_outstanding(&mut self, cycle: u64) -> usize {
+        self.l2_mshrs.outstanding(cycle)
     }
 
     /// The hierarchy configuration.
@@ -138,11 +170,18 @@ impl MemSystem {
         let (start, _) = self.fill_buses[core].acquire(cycle + jitter, beats);
         let resp = self.l2.access(addr, kind);
         let line = self.cfg.l2.line_addr(addr);
+        // Contended L2: the request first waits for its bank's port
+        // (zero wait when the model is disabled or the bank is free).
+        let service = start
+            + self
+                .contention
+                .as_mut()
+                .map_or(0, |c| c.access(core, line, start));
         let fill_done = if resp.hit {
-            start + self.cfg.l2.hit_latency as u64
+            service + self.cfg.l2.hit_latency as u64
         } else {
             self.l2_mshrs
-                .track(line, start, self.cfg.dram_latency as u64)
+                .track(line, service, self.cfg.dram_latency as u64)
                 .ready_cycle()
         };
         // Dirty L2 victim: model its writeback as extra bus occupancy.
@@ -284,7 +323,13 @@ impl MemSystem {
     /// matching) naturally satisfy this.
     pub fn drain_write(&mut self, core: usize, line_addr: u64, cycle: u64) -> u64 {
         let beats = self.cfg.word_transfer_beats();
-        let (start, done) = self.drain_buses[core / 2].acquire(cycle, beats);
+        // Contended L2: drain traffic competes for the target bank's
+        // port like fills do (zero wait when the model is disabled).
+        let bank_stall = self
+            .contention
+            .as_mut()
+            .map_or(0, |c| c.access(core, line_addr, cycle));
+        let (start, done) = self.drain_buses[core / 2].acquire(cycle + bank_stall, beats);
         let addr = line_addr * self.cfg.l1d.line_bytes as u64;
         self.l2.access(addr, AccessKind::Write);
         // Coherence: a store becoming architectural at the L2 invalidates

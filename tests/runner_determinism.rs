@@ -184,6 +184,84 @@ fn run_system_is_deterministic_at_2_8_and_16_lanes() {
 }
 
 #[test]
+fn run_system_is_byte_identical_on_rerun_at_64_lanes() {
+    // Many-core scale: the event queue drives 64 lanes (128 cores) over
+    // one shared memory system. Full RunResult equality — counters,
+    // event streams, final memory images — across a same-seed rerun.
+    use unsync::prelude::*;
+    use unsync_exec::RedundantDriver;
+    use unsync_mem::WritePolicy;
+    let lanes = 64usize;
+    let traces: Vec<TraceProgram> = (0..lanes)
+        .map(|p| {
+            WorkloadGen::new_at(
+                Benchmark::Gzip,
+                300,
+                41 + p as u64,
+                0x1000_0000 + p as u64 * 0x0100_0000,
+            )
+            .collect_trace()
+        })
+        .collect();
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    let run = || {
+        let mut policies: Vec<unsync_core::UnsyncPolicy> = (0..lanes)
+            .map(|p| {
+                unsync_core::UnsyncPolicy::new(
+                    "det64",
+                    UnsyncConfig::paper_baseline(),
+                    WritePolicy::WriteThrough,
+                    2 * p,
+                )
+            })
+            .collect();
+        driver.run_system(&mut policies, &traces)
+    };
+    let (reference, _) = run();
+    assert_eq!(reference.len(), lanes);
+    assert!(reference.iter().all(|r| r.out.committed == 300));
+    let (again, _) = run();
+    assert_eq!(again, reference, "64-lane system diverged on rerun");
+}
+
+#[test]
+fn lanesweep_smoke_diffs_clean_across_same_seed_runs() {
+    // The lanesweep experiment (2 and 8 lanes, same seed twice) must
+    // produce byte-identical run logs: written to two directories and
+    // compared through the dashboard's zero-tolerance diff — exactly
+    // the CI determinism gate.
+    use unsync_bench::dashboard::{diff_dirs, DiffOptions};
+    use unsync_bench::lanesweep::{run_sweep, summary_json, sweep_log, LaneSweepConfig};
+
+    let cfg = LaneSweepConfig::smoke(19);
+    let emit = |dir: &std::path::Path| {
+        std::fs::create_dir_all(dir).unwrap();
+        let rows = run_sweep(&cfg);
+        assert_eq!(rows.len(), 2, "smoke sweeps 2 and 8 lanes");
+        assert!(rows.iter().all(|r| r.recoveries == r.lanes as u64));
+        let log_text = sweep_log(&cfg, &rows).finish(1);
+        std::fs::write(dir.join("lanesweep.jsonl"), log_text).unwrap();
+        let mut summary = summary_json(&cfg, &rows).render();
+        summary.push('\n');
+        std::fs::write(dir.join("BENCH_lanesweep.json"), summary).unwrap();
+    };
+    let dir_a = std::env::temp_dir().join("unsync_lanesweep_smoke_a");
+    let dir_b = std::env::temp_dir().join("unsync_lanesweep_smoke_b");
+    for d in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    emit(&dir_a);
+    emit(&dir_b);
+    let report = diff_dirs(&dir_a, &dir_b, DiffOptions::default()).expect("diff runs");
+    assert!(
+        report.clean(),
+        "same-seed lanesweep runs must diff clean: {:?}",
+        report.deltas
+    );
+    assert!(report.compared > 0, "the diff must compare real leaves");
+}
+
+#[test]
 fn lockstep_pair_is_deterministic_across_repeated_runs() {
     use unsync::prelude::*;
     use unsync::reunion::LockstepPair;

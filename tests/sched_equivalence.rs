@@ -1,0 +1,129 @@
+//! Differential test: the discrete-event scheduler behind
+//! `RedundantDriver::run_system` against the historical laggard loop
+//! (`run_system_reference`, a linear `min_by_key` scan kept as the
+//! oracle). Same traces, same seeds → byte-identical per-lane results:
+//! outcome counters, trace-event streams, and final committed memory
+//! images, plus identical shared-L2 statistics. This is the contract
+//! that let the scheduler land without re-blessing a single golden
+//! snapshot.
+
+use unsync_core::{UnsyncConfig, UnsyncPolicy};
+use unsync_exec::{RedundantDriver, RunResult};
+use unsync_isa::TraceProgram;
+use unsync_mem::{L2ContentionConfig, MemSystem, WritePolicy};
+use unsync_sim::CoreConfig;
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+/// Mixed workloads with lane-varying seeds: fast and slow lanes, so the
+/// scheduler's pop order is exercised well beyond round-robin.
+fn traces(lanes: usize, insts: u64, seed: u64) -> Vec<TraceProgram> {
+    let mix = [
+        Benchmark::Gzip,
+        Benchmark::Qsort,
+        Benchmark::Sha,
+        Benchmark::Mcf,
+    ];
+    (0..lanes)
+        .map(|p| WorkloadGen::new(mix[p % mix.len()], insts, seed + p as u64).collect_trace())
+        .collect()
+}
+
+fn policies(lanes: usize) -> Vec<UnsyncPolicy> {
+    (0..lanes)
+        .map(|p| {
+            UnsyncPolicy::new(
+                "sched_equiv",
+                UnsyncConfig::paper_baseline(),
+                WritePolicy::WriteThrough,
+                2 * p,
+            )
+        })
+        .collect()
+}
+
+/// Asserts full equality of two system runs: per-lane results (counters,
+/// event streams, memory images) and the shared-L2 statistics.
+fn assert_equal(
+    label: &str,
+    (new, new_mem): &(Vec<RunResult>, MemSystem),
+    (old, old_mem): &(Vec<RunResult>, MemSystem),
+) {
+    assert_eq!(new.len(), old.len(), "{label}: lane count");
+    for (p, (n, o)) in new.iter().zip(old.iter()).enumerate() {
+        assert_eq!(n.out, o.out, "{label}: lane {p} outcome counters");
+        assert_eq!(n.events, o.events, "{label}: lane {p} event stream");
+        assert_eq!(n.memory, o.memory, "{label}: lane {p} memory image");
+    }
+    assert_eq!(
+        new_mem.l2_stats().miss_rate(),
+        old_mem.l2_stats().miss_rate(),
+        "{label}: L2 miss rate"
+    );
+    assert_eq!(
+        new_mem
+            .l2_contention()
+            .map(|c| (c.conflicts, c.stall_cycles, c.requests)),
+        old_mem
+            .l2_contention()
+            .map(|c| (c.conflicts, c.stall_cycles, c.requests)),
+        "{label}: L2 contention statistics"
+    );
+}
+
+#[test]
+fn event_scheduler_matches_laggard_loop_at_2_8_and_16_lanes() {
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    for lanes in [2usize, 8, 16] {
+        let ts = traces(lanes, 800, 31);
+        let new = driver.run_system(&mut policies(lanes), &ts);
+        let old = driver.run_system_reference(&mut policies(lanes), &ts);
+        assert!(
+            new.0.iter().all(|r| r.out.committed == 800),
+            "{lanes} lanes: every lane must finish"
+        );
+        assert_equal(&format!("{lanes} lanes, flat L2"), &new, &old);
+    }
+}
+
+#[test]
+fn event_scheduler_matches_laggard_loop_under_l2_contention() {
+    // Contention stalls perturb lane clocks, so the pop order itself
+    // depends on the contention model — both loops must still agree.
+    let driver = RedundantDriver::new(CoreConfig::table1())
+        .with_l2_contention(L2ContentionConfig::many_core());
+    for lanes in [2usize, 8] {
+        let ts = traces(lanes, 600, 47);
+        let new = driver.run_system(&mut policies(lanes), &ts);
+        let old = driver.run_system_reference(&mut policies(lanes), &ts);
+        assert_equal(&format!("{lanes} lanes, contended L2"), &new, &old);
+    }
+}
+
+#[test]
+fn event_scheduler_handles_unequal_trace_lengths() {
+    // Short lanes retire from the queue early; the reference scan just
+    // skips them. Both must agree on everything that remains.
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    let ts = vec![
+        WorkloadGen::new(Benchmark::Sha, 300, 3).collect_trace(),
+        WorkloadGen::new(Benchmark::Gzip, 1_200, 4).collect_trace(),
+        WorkloadGen::new(Benchmark::Mcf, 700, 5).collect_trace(),
+    ];
+    let new = driver.run_system(&mut policies(3), &ts);
+    let old = driver.run_system_reference(&mut policies(3), &ts);
+    assert_eq!(new.0[0].out.committed, 300);
+    assert_eq!(new.0[1].out.committed, 1_200);
+    assert_equal("unequal lanes", &new, &old);
+}
+
+#[test]
+fn run_system_with_empty_faults_is_run_system() {
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    let ts = traces(4, 500, 9);
+    let plain = driver.run_system(&mut policies(4), &ts);
+    let faulted = driver.run_system_with_faults(&mut policies(4), &ts, &[]);
+    assert_equal("no faults", &faulted, &plain);
+    let empty: Vec<Vec<unsync_fault::PairFault>> = vec![Vec::new(); 4];
+    let empty_lists = driver.run_system_with_faults(&mut policies(4), &ts, &empty);
+    assert_equal("empty per-lane fault lists", &empty_lists, &plain);
+}

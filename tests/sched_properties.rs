@@ -1,0 +1,130 @@
+//! Property tests for the discrete-event scheduler
+//! (`unsync_exec::sched`): random component schedules must never break
+//! the queue's ordering contract.
+//!
+//! * Wake-ups pop in non-decreasing tick order — no component is ever
+//!   run past another's earlier `next_tick` (the laggard rule);
+//! * ties pop the lowest component index;
+//! * the run's total tick count equals the sum of per-component ticks.
+
+use proptest::prelude::*;
+use unsync_exec::sched::{self, Component, EventQueue};
+
+/// A component scripted as (start tick, steps, stride): wakes at
+/// `start`, ticks `steps` times, advancing `stride + 1` ticks per wake
+/// (strictly forward, as the scheduler contract requires). Every tick
+/// is logged as `(tick, id)` into the shared context.
+struct Scripted {
+    id: usize,
+    next: u64,
+    left: u32,
+    stride: u64,
+}
+
+impl Component for Scripted {
+    type Ctx = Vec<(u64, usize)>;
+
+    fn next_tick(&self) -> Option<u64> {
+        (self.left > 0).then_some(self.next)
+    }
+
+    fn tick(&mut self, now: u64, log: &mut Vec<(u64, usize)>) {
+        log.push((now, self.id));
+        self.next = now + self.stride + 1;
+        self.left -= 1;
+    }
+}
+
+fn build(specs: &[(u64, u32, u64)]) -> Vec<Scripted> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(id, &(start, steps, stride))| Scripted {
+            id,
+            next: start % 1_000,
+            left: steps % 64,
+            stride: stride % 16,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wakeups_are_globally_ordered_and_complete(
+        specs in prop::collection::vec((any::<u64>(), any::<u32>(), any::<u64>()), 1..40)
+    ) {
+        let mut comps = build(&specs);
+        let expected: u64 = comps.iter().map(|c| u64::from(c.left)).sum();
+        let starts: Vec<Option<u64>> = comps.iter().map(|c| c.next_tick()).collect();
+        let mut log = Vec::new();
+        let total = sched::run(&mut comps, &mut log);
+
+        // Total ticks == sum of per-component ticks; every component is
+        // drained.
+        prop_assert_eq!(total, expected);
+        prop_assert_eq!(log.len() as u64, total);
+        prop_assert!(comps.iter().all(|c| c.next_tick().is_none()));
+        for (id, &(_, steps, _)) in specs.iter().enumerate() {
+            let got = log.iter().filter(|&&(_, i)| i == id).count() as u64;
+            prop_assert_eq!(got, u64::from(steps % 64), "component {} tick count", id);
+        }
+
+        // The laggard rule: wake-up ticks never decrease — a component
+        // is never run past another runnable component's earlier tick.
+        prop_assert!(
+            log.windows(2).all(|w| w[0].0 <= w[1].0),
+            "wake-ups must pop in non-decreasing tick order: {:?}",
+            log
+        );
+
+        // Tie-break at the opening wave: all components sharing the
+        // minimal start tick must run before anything else, in index
+        // order (later ties can interleave with re-scheduled wake-ups,
+        // so the opening wave is where the pure tie-break is visible).
+        if let Some(first_tick) = starts.iter().flatten().min().copied() {
+            let opening: Vec<usize> = (0..starts.len())
+                .filter(|&i| starts[i] == Some(first_tick))
+                .collect();
+            let head: Vec<(u64, usize)> = log.iter().take(opening.len()).copied().collect();
+            prop_assert!(
+                head.iter().all(|&(t, _)| t == first_tick),
+                "opening wave must stay at the minimal start tick: {:?}",
+                head
+            );
+            let head_ids: Vec<usize> = head.iter().map(|&(_, i)| i).collect();
+            prop_assert_eq!(head_ids, opening, "ties must pop lowest index first");
+        }
+    }
+
+    #[test]
+    fn queue_pops_in_tick_then_index_order(
+        entries in prop::collection::vec((any::<u64>(), any::<u64>()), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = entries
+            .iter()
+            .map(|&(t, i)| (t % 10_000, (i % 64) as usize))
+            .collect();
+        for &(t, i) in &expected {
+            q.schedule(t, i);
+        }
+        expected.sort();
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push(e);
+        }
+        prop_assert_eq!(got, expected, "pop order must be (tick, index) lexicographic");
+        prop_assert!(q.is_empty());
+    }
+}
+
+/// A run over zero components is a no-op, not a hang.
+#[test]
+fn empty_run_is_zero_ticks() {
+    let mut comps: Vec<Scripted> = Vec::new();
+    let mut log = Vec::new();
+    assert_eq!(sched::run(&mut comps, &mut log), 0);
+    assert!(log.is_empty());
+}
