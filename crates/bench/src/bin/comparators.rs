@@ -4,11 +4,11 @@
 //! FlexStep-style granularity (128-instruction window) and the
 //! SECDED-only non-redundant floor.
 
-use unsync_bench::{experiments, render, ExperimentConfig, RunLog};
+use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
 use unsync_core::{UnsyncConfig, UnsyncGroup, UnsyncPair, UnsyncSystem};
 use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
 use unsync_sim::CoreConfig;
-use unsync_workloads::{Benchmark, WorkloadGen};
+use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
 /// Small faulted runs of the three runners the error-free comparator
 /// table does not exercise — a struck pair, a 3-way group, and a
@@ -19,7 +19,7 @@ use unsync_workloads::{Benchmark, WorkloadGen};
 /// only through the nondeterministic `meta` metrics snapshot.
 fn dashboard_coverage_runs(cfg: ExperimentConfig) {
     let insts = cfg.inst_count.min(5_000);
-    let trace = WorkloadGen::new(Benchmark::Gzip, insts, cfg.seed).collect_trace();
+    let trace = SyntheticSource::new(Benchmark::Gzip, insts, cfg.seed).trace();
     let strike = |at| PairFault {
         at,
         core: 0,
@@ -34,7 +34,7 @@ fn dashboard_coverage_runs(cfg: ExperimentConfig) {
     let ucfg = UnsyncConfig::paper_baseline();
     let _ = UnsyncPair::new(ccfg, ucfg).run(&trace, &faults);
     let _ = UnsyncGroup::new(ccfg, ucfg, 3).run(&trace, &faults);
-    let short = WorkloadGen::new(Benchmark::Qsort, insts, cfg.seed).collect_trace();
+    let short = SyntheticSource::new(Benchmark::Qsort, insts, cfg.seed).trace();
     let _ = UnsyncSystem::new(ccfg, ucfg).run(&[trace, short]);
 }
 
@@ -68,6 +68,13 @@ fn main() {
             row.flex_overhead * 100.0,
             row.secded_overhead * 100.0
         );
+    }
+    // Kernel-workload scheme rows: the same three schemes and strike
+    // schedule as the synthetic scheme-values study, but over measured
+    // real-ISA kernel traces. Appended after the comparator records so
+    // every pre-existing row keeps its position.
+    for row in &experiments::kernel_scheme_values_on(Runner::from_env(), cfg) {
+        log.record(render::jsonl::scheme_values(row));
     }
     dashboard_coverage_runs(cfg);
     if let Some(p) = log.write(1) {

@@ -8,9 +8,12 @@
 //!
 //! Environment knobs: `UNSYNC_LANES` (comma-separated lane counts,
 //! default the full 2 → 1000 sweep), `UNSYNC_INSTS` (instructions per
-//! lane), `UNSYNC_SEED`.
+//! lane), `UNSYNC_SEED`, and `UNSYNC_WORKLOAD` (any synthetic
+//! benchmark name such as `gzip`, or a real-ISA kernel such as
+//! `kernel:crc32`; default `gzip`).
 
 use unsync_bench::lanesweep::{run_sweep, summary_json, sweep_log, LaneSweepConfig};
+use unsync_workloads::WorkloadSpec;
 
 /// Where the machine-readable summary lands (workspace root under CI).
 const OUT_PATH: &str = "BENCH_lanesweep.json";
@@ -34,8 +37,18 @@ fn main() {
             cfg.lane_counts = counts;
         }
     }
+    if let Ok(name) = std::env::var("UNSYNC_WORKLOAD") {
+        match WorkloadSpec::parse(name.trim()) {
+            Ok(spec) => cfg.workload = spec,
+            Err(e) => {
+                eprintln!("error: UNSYNC_WORKLOAD: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
-        "Lane sweep over contended shared L2 ({} insts/lane, seed {}, {} banks × {}-cycle ports, {} MSHRs)",
+        "Lane sweep over contended shared L2 ({} × {} insts/lane, seed {}, {} banks × {}-cycle ports, {} MSHRs)",
+        cfg.workload.name(),
         cfg.insts_per_lane,
         cfg.seed,
         cfg.contention.banks,

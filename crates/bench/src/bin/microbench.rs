@@ -19,7 +19,7 @@ use unsync_core::{UnsyncConfig, UnsyncPair, UnsyncSystem};
 use unsync_isa::{golden_run, ArchMemory};
 use unsync_reunion::{ReunionConfig, ReunionPair};
 use unsync_sim::CoreConfig;
-use unsync_workloads::{Benchmark, WorkloadGen};
+use unsync_workloads::{Benchmark, Kernel, SyntheticSource, WorkloadSource};
 
 /// Where the machine-readable results land (workspace root under CI).
 const OUT_PATH: &str = "BENCH_driver.json";
@@ -54,7 +54,7 @@ fn mem_benches(results: &mut Vec<BenchResult>) {
         }
         bb(acc)
     });
-    let t = WorkloadGen::new(Benchmark::Gzip, 4_000, 11).collect_trace();
+    let t = SyntheticSource::new(Benchmark::Gzip, 4_000, 11).trace();
     g.bench("archmem/golden_run_4k", || {
         bb(golden_run(&t)).1.footprint_words()
     });
@@ -63,8 +63,8 @@ fn mem_benches(results: &mut Vec<BenchResult>) {
 
 fn driver_benches(results: &mut Vec<BenchResult>) {
     let mut g = Bench::group("driver");
-    let t = WorkloadGen::new(Benchmark::Gzip, 4_000, 11).collect_trace();
-    let qsort = WorkloadGen::new(Benchmark::Qsort, 4_000, 11).collect_trace();
+    let t = SyntheticSource::new(Benchmark::Gzip, 4_000, 11).trace();
+    let qsort = SyntheticSource::new(Benchmark::Qsort, 4_000, 11).trace();
     let unsync = UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
     g.bench("pair_run/gzip_4k", || bb(unsync.run(&t, &[])).core.cycles);
     // Qsort is the store-heaviest workload: the CB and pending-store
@@ -85,7 +85,7 @@ fn system_benches(results: &mut Vec<BenchResult>) {
     let mut g = Bench::group("system");
     for lanes in [2usize, 8, 16] {
         let traces: Vec<_> = (0..lanes)
-            .map(|p| WorkloadGen::new(Benchmark::Gzip, 1_000, 11 + p as u64).collect_trace())
+            .map(|p| SyntheticSource::new(Benchmark::Gzip, 1_000, 11 + p as u64).trace())
             .collect();
         let sys = UnsyncSystem::new(CoreConfig::table1(), UnsyncConfig::paper_baseline());
         g.bench(&format!("system_run/{lanes}_lanes_1k"), || {
@@ -136,13 +136,8 @@ fn sched_benches(results: &mut Vec<BenchResult>) {
     // contention accounting + event draining on the hot path.
     let traces: Vec<_> = (0..8usize)
         .map(|p| {
-            WorkloadGen::new_at(
-                Benchmark::Gzip,
-                500,
-                11 + p as u64,
-                0x1000_0000 + p as u64 * 0x0100_0000,
-            )
-            .collect_trace()
+            SyntheticSource::new(Benchmark::Gzip, 500, 11 + p as u64)
+                .trace_at(0x1000_0000 + p as u64 * 0x0100_0000)
         })
         .collect();
     g.bench("contended_run/8_lanes_500", || {
@@ -159,6 +154,19 @@ fn sched_benches(results: &mut Vec<BenchResult>) {
             })
             .collect();
         bb(driver.run_system(&mut policies, &traces)).0.len()
+    });
+    results.extend(g.into_results());
+}
+
+fn workload_benches(results: &mut Vec<BenchResult>) {
+    // Trace production itself: the synthetic generator vs. the
+    // real-ISA kernel backend (which also executes what it emits).
+    let mut g = Bench::group("workloads");
+    g.bench("gen/synthetic_gzip_4k", || {
+        bb(SyntheticSource::new(Benchmark::Gzip, 4_000, 11).trace()).len()
+    });
+    g.bench("gen/kernel_qsort_4k", || {
+        bb(Kernel::Qsort.source(4_000, 11).trace()).len()
     });
     results.extend(g.into_results());
 }
@@ -216,6 +224,7 @@ fn main() {
     driver_benches(&mut results);
     system_benches(&mut results);
     sched_benches(&mut results);
+    workload_benches(&mut results);
     event_benches(&mut results);
     assert!(
         !results.is_empty(),

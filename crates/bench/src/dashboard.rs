@@ -206,6 +206,37 @@ pub struct SchemeRow {
     /// MTTR percentiles (p50, p95, max bucket bound), when the scheme
     /// recorded any recovery episodes.
     pub mttr: Option<(f64, f64, f64)>,
+    /// The hottest L2 bank and its share of all bank conflicts, from
+    /// the `l2_bank_conflicts` histogram (absent unless the banked-L2
+    /// model recorded conflicts).
+    pub l2_hot_bank: Option<(u64, f64)>,
+}
+
+/// The most-conflicted bank index and its share of all recorded bank
+/// conflicts, from a serialized `l2_bank_conflicts` histogram (each
+/// finite bucket's bound is a bank index and its count that bank's
+/// conflict tally). `None` for empty or absent histograms.
+pub fn hot_bank(hist: &Json) -> Option<(u64, f64)> {
+    let total = hist.get("count").and_then(Json::as_u64)?;
+    if total == 0 {
+        return None;
+    }
+    let Some(Json::Arr(buckets)) = hist.get("buckets") else {
+        return None;
+    };
+    let mut best: Option<(u64, u64)> = None;
+    for b in buckets {
+        // The overflow bucket (`le: null`) holds nothing by
+        // construction — bank indices never exceed the last bound.
+        let Some(le) = b.get("le").and_then(Json::as_f64) else {
+            continue;
+        };
+        let n = b.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if n > 0 && best.is_none_or(|(_, bn)| n > bn) {
+            best = Some((le as u64, n));
+        }
+    }
+    best.map(|(bank, n)| (bank, n as f64 / total as f64))
 }
 
 /// Builds the table rows from [`scheme_stats`] output.
@@ -239,6 +270,7 @@ pub fn scheme_rows(stats: &SchemeStats) -> Vec<SchemeRow> {
                 window_occupancy_mean: (compares > 0)
                     .then(|| get(m, "window_occupancy_sum") as f64 / compares as f64),
                 mttr,
+                l2_hot_bank: m.get("l2_bank_conflicts").and_then(hot_bank),
             }
         })
         .collect()
@@ -269,7 +301,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
+        "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
         "scheme",
         "runs",
         "insts",
@@ -280,6 +312,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
         "stall%",
         "cbfull%",
         "l2stl%",
+        "hotbank",
         "w.occ",
         "mttr p50",
         "p95",
@@ -290,9 +323,13 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
             Some((a, b, c)) => (fmt_cycles(a), fmt_cycles(b), fmt_cycles(c)),
             None => ("-".into(), "-".into(), "-".into()),
         };
+        let hot = match r.l2_hot_bank {
+            Some((bank, share)) => format!("{bank}:{:.0}%", share * 100.0),
+            None => "-".to_string(),
+        };
         let _ = writeln!(
             out,
-            "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
+            "{:<14} {:>5} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}",
             r.scheme,
             r.runs,
             r.instructions,
@@ -303,6 +340,7 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
             fmt_opt(r.recovery_stall_fraction.map(|f| f * 100.0), 3),
             fmt_opt(r.cb_full_fraction.map(|f| f * 100.0), 3),
             fmt_opt(r.l2_contention_fraction.map(|f| f * 100.0), 3),
+            hot,
             fmt_opt(r.window_occupancy_mean, 1),
             p50,
             p95,
@@ -527,6 +565,33 @@ mod tests {
         let table = render_scheme_table(&rows);
         assert!(table.contains("unsync_pair"));
         assert!(table.lines().count() >= 2);
+    }
+
+    #[test]
+    fn hot_bank_column_reads_the_bank_histogram() {
+        // META_A has no l2_bank_conflicts histogram → column absent.
+        let rows = scheme_rows(&scheme_stats(&[log("a.jsonl", &[META_A])]));
+        assert_eq!(rows[0].l2_hot_bank, None);
+        assert!(render_scheme_table(&rows)
+            .lines()
+            .next()
+            .unwrap()
+            .contains("hotbank"));
+
+        // Add a bank profile: bank 2 owns 6 of 10 conflicts.
+        let meta = META_A.replace(
+            "\"runner.baseline_sim_runs\":7",
+            concat!(
+                "\"unsync_pair.l2_bank_conflicts\":{\"count\":10,\"sum\":14.0,",
+                "\"buckets\":[{\"le\":0.0,\"count\":1},{\"le\":1.0,\"count\":3},",
+                "{\"le\":2.0,\"count\":6},{\"le\":null,\"count\":0}]}"
+            ),
+        );
+        let rows = scheme_rows(&scheme_stats(&[log("a.jsonl", &[&meta])]));
+        let (bank, share) = rows[0].l2_hot_bank.expect("histogram present");
+        assert_eq!(bank, 2);
+        assert!((share - 0.6).abs() < 1e-12);
+        assert!(render_scheme_table(&rows).contains("2:60%"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use unsync_fault::{Coverage, FaultTarget, PairFault, SerRate};
 use unsync_isa::TraceProgram;
 use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
 use unsync_sim::CoreConfig;
-use unsync_workloads::{Benchmark, WorkloadGen};
+use unsync_workloads::{Benchmark, Kernel, SyntheticSource, WorkloadSource};
 
 use crate::runner::Runner;
 
@@ -64,7 +64,7 @@ fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
 }
 
 fn trace(bench: Benchmark, cfg: ExperimentConfig) -> TraceProgram {
-    WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace()
+    SyntheticSource::new(bench, cfg.inst_count, cfg.seed).trace()
 }
 
 /// Runs `f` once per benchmark on `runner`, preserving benchmark order.
@@ -158,7 +158,7 @@ pub fn fig5_on(runner: Runner, cfg: ExperimentConfig, benches: &[Benchmark]) -> 
         let mut row = per_benchmark(runner, benches, |bench| {
             let t = trace(bench, cfg);
             let base = baseline_cycles(bench, cfg) as f64;
-            let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+            let mut stream = trace(bench, cfg);
             let mut hooks = unsync_reunion::ReunionHooks::new(ReunionConfig::for_fi(fi, latency));
             let reunion = unsync_sim::run_stream(
                 CoreConfig::table1(),
@@ -528,7 +528,7 @@ pub fn comparators_on(runner: Runner, cfg: ExperimentConfig) -> Vec<ComparatorRo
             .run(&t, &[])
             .cycles;
         let ckpt = {
-            let mut s = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+            let mut s = trace(bench, cfg);
             let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
             unsync_sim::run_stream(
                 CoreConfig::table1(),
@@ -600,58 +600,89 @@ pub fn scheme_values(cfg: ExperimentConfig) -> Vec<SchemeValuesRow> {
     scheme_values_on(Runner::from_env(), cfg)
 }
 
+/// The three PR-3 schemes on one trace under the fixed mid-trace ROB
+/// strike — shared by the synthetic and kernel scheme-values studies.
+fn scheme_values_for(
+    workload: &'static str,
+    t: &TraceProgram,
+    cfg: ExperimentConfig,
+) -> [SchemeValuesRow; 3] {
+    let strike = |core: usize| PairFault {
+        at: cfg.inst_count / 2,
+        core,
+        site: unsync_fault::FaultSite {
+            target: FaultTarget::Rob,
+            bit_offset: 21,
+        },
+        kind: unsync_fault::FaultKind::Single,
+    };
+    let tmr = TmrTriple::new(CoreConfig::table1()).run(t, &[strike(1)]);
+    let flex =
+        FlexPair::new(CoreConfig::table1(), FlexConfig::paper_baseline()).run(t, &[strike(1)]);
+    let secded = SecdedOnlyCore::new(CoreConfig::table1()).run(t, &[strike(0)]);
+    [
+        SchemeValuesRow {
+            bench: workload,
+            scheme: "tmr_vote",
+            cycles: tmr.core.cycles,
+            committed: tmr.core.committed,
+            detections: tmr.core.detections,
+            corrections: tmr.corrections,
+            compares: 0,
+            corrected_in_place: 0,
+            correct: tmr.correct(),
+        },
+        SchemeValuesRow {
+            bench: workload,
+            scheme: "flex_step",
+            cycles: flex.core.cycles,
+            committed: flex.core.committed,
+            detections: flex.core.detections,
+            corrections: 0,
+            compares: flex.compares,
+            corrected_in_place: 0,
+            correct: flex.correct(),
+        },
+        SchemeValuesRow {
+            bench: workload,
+            scheme: "secded_only",
+            cycles: secded.core.cycles,
+            committed: secded.core.committed,
+            detections: secded.core.detections,
+            corrections: 0,
+            compares: 0,
+            corrected_in_place: secded.corrected_in_place,
+            correct: secded.correct(),
+        },
+    ]
+}
+
 /// [`scheme_values`] on an explicit runner.
 pub fn scheme_values_on(runner: Runner, cfg: ExperimentConfig) -> Vec<SchemeValuesRow> {
     let rows = per_benchmark(runner, &SCHEME_BENCHES, |bench| {
-        let t = trace(bench, cfg);
-        let strike = |core: usize| PairFault {
-            at: cfg.inst_count / 2,
-            core,
-            site: unsync_fault::FaultSite {
-                target: FaultTarget::Rob,
-                bit_offset: 21,
-            },
-            kind: unsync_fault::FaultKind::Single,
-        };
-        let tmr = TmrTriple::new(CoreConfig::table1()).run(&t, &[strike(1)]);
-        let flex =
-            FlexPair::new(CoreConfig::table1(), FlexConfig::paper_baseline()).run(&t, &[strike(1)]);
-        let secded = SecdedOnlyCore::new(CoreConfig::table1()).run(&t, &[strike(0)]);
-        [
-            SchemeValuesRow {
-                bench: bench.name(),
-                scheme: "tmr_vote",
-                cycles: tmr.core.cycles,
-                committed: tmr.core.committed,
-                detections: tmr.core.detections,
-                corrections: tmr.corrections,
-                compares: 0,
-                corrected_in_place: 0,
-                correct: tmr.correct(),
-            },
-            SchemeValuesRow {
-                bench: bench.name(),
-                scheme: "flex_step",
-                cycles: flex.core.cycles,
-                committed: flex.core.committed,
-                detections: flex.core.detections,
-                corrections: 0,
-                compares: flex.compares,
-                corrected_in_place: 0,
-                correct: flex.correct(),
-            },
-            SchemeValuesRow {
-                bench: bench.name(),
-                scheme: "secded_only",
-                cycles: secded.core.cycles,
-                committed: secded.core.committed,
-                detections: secded.core.detections,
-                corrections: 0,
-                compares: 0,
-                corrected_in_place: secded.corrected_in_place,
-                correct: secded.correct(),
-            },
-        ]
+        scheme_values_for(bench.name(), &trace(bench, cfg), cfg)
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// The kernel workloads the scheme-values study also snapshots — the
+/// measured real-ISA counterpart of [`SCHEME_BENCHES`].
+pub const SCHEME_KERNELS: [Kernel; 4] = [
+    Kernel::Qsort,
+    Kernel::Crc32,
+    Kernel::Dijkstra,
+    Kernel::Stringsearch,
+];
+
+/// [`scheme_values_on`] over the real-ISA kernel backend: identical
+/// schemes and strike schedule, but the traces are measured kernel
+/// executions (`kernel:*` rows). These rows are appended *after* the
+/// synthetic rows in `tests/golden/schemes.jsonl`, never interleaved,
+/// so every pre-existing golden row stays byte-identical.
+pub fn kernel_scheme_values_on(runner: Runner, cfg: ExperimentConfig) -> Vec<SchemeValuesRow> {
+    let rows = runner.map(&SCHEME_KERNELS, |&kernel| {
+        let t = kernel.source(cfg.inst_count, cfg.seed).trace();
+        scheme_values_for(kernel.spec_name(), &t, cfg)
     });
     rows.into_iter().flatten().collect()
 }

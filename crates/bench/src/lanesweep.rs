@@ -23,7 +23,7 @@ use unsync_exec::RedundantDriver;
 use unsync_fault::PairFault;
 use unsync_mem::{L2ContentionConfig, WritePolicy};
 use unsync_sim::CoreConfig;
-use unsync_workloads::{Benchmark, WorkloadGen};
+use unsync_workloads::{Benchmark, WorkloadSource, WorkloadSpec};
 
 use crate::runlog::{Json, RunLog};
 
@@ -39,6 +39,9 @@ pub struct LaneSweepConfig {
     pub seed: u64,
     /// The shared-L2 contention model applied to every system.
     pub contention: L2ContentionConfig,
+    /// The workload every lane runs (synthetic benchmark or real-ISA
+    /// kernel; `UNSYNC_WORKLOAD` in the `lanesweep` binary).
+    pub workload: WorkloadSpec,
 }
 
 impl LaneSweepConfig {
@@ -50,6 +53,7 @@ impl LaneSweepConfig {
             insts_per_lane: 400,
             seed,
             contention: L2ContentionConfig::many_core(),
+            workload: WorkloadSpec::Synthetic(Benchmark::Gzip),
         }
     }
 
@@ -60,6 +64,7 @@ impl LaneSweepConfig {
             insts_per_lane: 200,
             seed,
             contention: L2ContentionConfig::many_core(),
+            workload: WorkloadSpec::Synthetic(Benchmark::Gzip),
         }
     }
 }
@@ -107,13 +112,9 @@ pub fn sweep_point(cfg: &LaneSweepConfig, lanes: usize) -> LaneSweepRow {
     let traces: Vec<_> = (0..lanes)
         .map(|p| {
             let base = 0x1000_0000u64 + p as u64 * 0x0100_0000;
-            WorkloadGen::new_at(
-                Benchmark::Gzip,
-                cfg.insts_per_lane as u64,
-                cfg.seed + p as u64,
-                base,
-            )
-            .collect_trace()
+            cfg.workload
+                .source(cfg.insts_per_lane as u64, cfg.seed + p as u64)
+                .trace_at(base)
         })
         .collect();
     let mut policies: Vec<UnsyncPolicy> = (0..lanes)
@@ -235,6 +236,7 @@ pub fn summary_json(cfg: &LaneSweepConfig, rows: &[LaneSweepRow]) -> Json {
         .field("schema", 1u64)
         .field("insts_per_lane", cfg.insts_per_lane)
         .field("seed", cfg.seed)
+        .field("workload", cfg.workload.name())
         .field(
             "contention",
             Json::obj()
@@ -255,6 +257,7 @@ mod tests {
             insts_per_lane: 120,
             seed: 11,
             contention: L2ContentionConfig::many_core(),
+            workload: WorkloadSpec::Synthetic(Benchmark::Gzip),
         }
     }
 
@@ -292,12 +295,32 @@ mod tests {
                 bank_busy_beats: 8,
                 mshrs: 20,
             },
+            workload: WorkloadSpec::Synthetic(Benchmark::Gzip),
         };
         let rows = run_sweep(&cfg);
         assert!(
             rows[1].l2_stall_cycles >= rows[0].l2_stall_cycles,
             "more lanes cannot reduce total bank stalls: {rows:?}"
         );
+    }
+
+    #[test]
+    fn kernel_workloads_sweep_end_to_end() {
+        let cfg = LaneSweepConfig {
+            lane_counts: vec![2, 8],
+            insts_per_lane: 150,
+            seed: 7,
+            contention: L2ContentionConfig::many_core(),
+            workload: WorkloadSpec::Kernel(unsync_workloads::Kernel::Dijkstra),
+        };
+        let rows = run_sweep(&cfg);
+        assert_eq!(rows, run_sweep(&cfg), "kernel sweeps are deterministic");
+        for row in rows {
+            assert_eq!(row.committed, (row.lanes * cfg.insts_per_lane) as u64);
+            assert_eq!(row.recoveries, row.lanes as u64);
+        }
+        let text = summary_json(&cfg, &run_sweep(&cfg)).render();
+        assert!(text.contains("\"workload\":\"kernel:dijkstra\""));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod dashboard;
 pub mod experiments;
+pub mod kernelstats;
 pub mod lanesweep;
 pub mod microbench;
 pub mod render;

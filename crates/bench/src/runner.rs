@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use unsync_isa::exec::splitmix64;
 use unsync_isa::{golden_run, ArchMemory};
 use unsync_sim::{metrics, run_baseline, CoreConfig};
-use unsync_workloads::{Benchmark, SplitMixStream, WorkloadGen};
+use unsync_workloads::{Benchmark, SplitMixStream, SyntheticSource, WorkloadSource};
 
 use crate::experiments::ExperimentConfig;
 
@@ -143,31 +143,37 @@ pub fn job_stream(cfg: ExperimentConfig, bench: Benchmark, salt: u64) -> SplitMi
     SplitMixStream::new(job_seed(cfg, bench, salt))
 }
 
-type BaselineKey = (Benchmark, u64, u64);
+/// Cache key of a memoized per-trace product: the source's stable
+/// workload name plus its length and seed. Any [`WorkloadSource`]
+/// backend — synthetic or kernel — shares the same caches.
+type SourceKey = (&'static str, u64, u64);
 
-fn baseline_cache() -> &'static Mutex<HashMap<BaselineKey, Arc<OnceLock<u64>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<BaselineKey, Arc<OnceLock<u64>>>>> = OnceLock::new();
+fn source_key(source: &dyn WorkloadSource) -> SourceKey {
+    (source.name(), source.length(), source.seed())
+}
+
+fn baseline_cache() -> &'static Mutex<HashMap<SourceKey, Arc<OnceLock<u64>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<SourceKey, Arc<OnceLock<u64>>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Baseline (unprotected Table I CMP) cycle count for one benchmark
-/// trace, memoized process-wide per `(benchmark, inst_count, seed)`.
+/// Baseline (unprotected Table I CMP) cycle count for one workload
+/// source's trace, memoized process-wide per `(name, length, seed)`.
 ///
 /// Concurrent callers racing on a cold key block on one `OnceLock`, so
 /// the simulation runs exactly once; everyone else counts as a cache
 /// hit.
-pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
-    let key = (bench, cfg.inst_count, cfg.seed);
+pub fn baseline_cycles_source(source: &dyn WorkloadSource) -> u64 {
     let cell = {
         let mut cache = baseline_cache().lock().expect("baseline cache poisoned");
-        Arc::clone(cache.entry(key).or_default())
+        Arc::clone(cache.entry(source_key(source)).or_default())
     };
     let m = metrics::global();
     let mut simulated = false;
     let cycles = *cell.get_or_init(|| {
         simulated = true;
         m.counter("runner.baseline_sim_runs").inc();
-        let mut stream = WorkloadGen::new(bench, cfg.inst_count, cfg.seed);
+        let mut stream = source.trace();
         run_baseline(CoreConfig::table1(), &mut stream)
             .core
             .last_commit_cycle
@@ -178,38 +184,47 @@ pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
     cycles
 }
 
-type GoldenCache = Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<ArchMemory>>>>>;
+/// [`baseline_cycles_source`] for a synthetic benchmark under `cfg`.
+pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
+    baseline_cycles_source(&SyntheticSource::new(bench, cfg.inst_count, cfg.seed))
+}
+
+type GoldenCache = Mutex<HashMap<SourceKey, Arc<OnceLock<Arc<ArchMemory>>>>>;
 
 fn golden_cache() -> &'static GoldenCache {
     static CACHE: OnceLock<GoldenCache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// The golden (fault-free functional) memory image of one benchmark
-/// trace, memoized process-wide per `(benchmark, inst_count, seed)`.
+/// The golden (fault-free functional) memory image of one workload
+/// source's trace, memoized process-wide per `(name, length, seed)`.
 ///
 /// Fault campaigns verify every injected-fault run against the same
 /// golden image; threading this through `run_with_golden` executes
 /// [`golden_run`] once per trace instead of once per fault — observable
 /// as `runner.golden_sim_runs` vs. `runner.golden_cache_hits`.
-pub fn golden_memory(bench: Benchmark, cfg: ExperimentConfig) -> Arc<ArchMemory> {
-    let key = (bench, cfg.inst_count, cfg.seed);
+pub fn golden_memory_source(source: &dyn WorkloadSource) -> Arc<ArchMemory> {
     let cell = {
         let mut cache = golden_cache().lock().expect("golden cache poisoned");
-        Arc::clone(cache.entry(key).or_default())
+        Arc::clone(cache.entry(source_key(source)).or_default())
     };
     let m = metrics::global();
     let mut simulated = false;
     let golden = Arc::clone(cell.get_or_init(|| {
         simulated = true;
         m.counter("runner.golden_sim_runs").inc();
-        let trace = WorkloadGen::new(bench, cfg.inst_count, cfg.seed).collect_trace();
+        let trace = source.trace();
         Arc::new(golden_run(&trace).1)
     }));
     if !simulated {
         m.counter("runner.golden_cache_hits").inc();
     }
     golden
+}
+
+/// [`golden_memory_source`] for a synthetic benchmark under `cfg`.
+pub fn golden_memory(bench: Benchmark, cfg: ExperimentConfig) -> Arc<ArchMemory> {
+    golden_memory_source(&SyntheticSource::new(bench, cfg.inst_count, cfg.seed))
 }
 
 #[cfg(test)]
@@ -297,8 +312,21 @@ mod tests {
         assert_eq!(runs.get() - runs0, 1, "exactly one golden execution");
         assert_eq!(hits.get() - hits0, 6, "every other lookup hit the cache");
         // And the image really is the golden run of that trace.
-        let trace = WorkloadGen::new(Benchmark::Dijkstra, cfg.inst_count, cfg.seed).collect_trace();
+        let trace = SyntheticSource::new(Benchmark::Dijkstra, cfg.inst_count, cfg.seed).trace();
         assert_eq!(*g, golden_run(&trace).1);
+    }
+
+    #[test]
+    fn kernel_sources_share_the_memo_caches() {
+        let source = unsync_workloads::Kernel::Crc32.source(1_200, 77_031);
+        let runs = metrics::global().counter("runner.baseline_sim_runs");
+        let runs0 = runs.get();
+        let a = baseline_cycles_source(&source);
+        let b = baseline_cycles_source(&source);
+        assert_eq!(a, b);
+        assert_eq!(runs.get() - runs0, 1, "kernel baseline simulated once");
+        let g = golden_memory_source(&source);
+        assert_eq!(*g, golden_run(&source.trace()).1);
     }
 
     #[test]

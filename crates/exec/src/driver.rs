@@ -54,6 +54,11 @@ pub struct LaneState {
     pub pending: PendingStores,
     /// The lane's structured trace-event stream.
     pub events: EventStream,
+    /// Per-bank L2 conflict tallies (index = bank), accumulated while
+    /// draining [`unsync_mem::L2ContentionEvent`]s and published as the
+    /// scheme's `l2_bank_conflicts` histogram at finalization. Empty
+    /// when the contention model is off.
+    pub bank_conflicts: Vec<u64>,
     /// The outcome counters being accumulated.
     pub out: OutcomeCore,
     /// Cached wall clock — `max` over the engines, maintained by the
@@ -72,6 +77,7 @@ impl LaneState {
             committed_mem: ArchMemory::new(),
             pending: PendingStores::new(),
             events: EventStream::new(),
+            bank_conflicts: Vec::new(),
             out: OutcomeCore::default(),
             clock: 0,
         }
@@ -184,6 +190,10 @@ impl RedundantDriver {
     fn drain_l2_events(mem: &mut MemSystem, lane: &mut LaneState) {
         if let Some(events) = mem.l2_events_mut() {
             for e in events.drain(..) {
+                if lane.bank_conflicts.len() <= e.bank {
+                    lane.bank_conflicts.resize(e.bank + 1, 0);
+                }
+                lane.bank_conflicts[e.bank] += 1;
                 lane.events
                     .emit_at(TraceEventKind::L2Contention, e.stall, e.cycle);
             }
@@ -595,6 +605,11 @@ impl RedundantDriver {
                 counters.detect_latency.observe(lat as f64);
             }
         }
+        // Per-bank L2 conflict profile: one pre-aggregated observation
+        // batch per bank, valued at the bank index.
+        for (bank, &n) in lane.bank_conflicts.iter().enumerate() {
+            counters.l2_banks.observe_n(bank as f64, n);
+        }
         lane.events.publish(name);
     }
 }
@@ -656,7 +671,7 @@ impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
 mod tests {
     use super::*;
     use unsync_sim::NullHooks;
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     /// The minimal policy: plain duplex execution, no detection, no
     /// recovery — exactly the "new redundancy scheme" recipe floor.
@@ -690,7 +705,7 @@ mod tests {
 
     #[test]
     fn minimal_policy_is_a_complete_scheme() {
-        let t = WorkloadGen::new(Benchmark::Gzip, 2_000, 3).collect_trace();
+        let t = SyntheticSource::new(Benchmark::Gzip, 2_000, 3).trace();
         let driver = RedundantDriver::new(CoreConfig::table1());
         let mut policy = MinimalDuplex {
             hooks: [NullHooks, NullHooks],
@@ -703,7 +718,7 @@ mod tests {
 
     #[test]
     fn driver_runs_are_deterministic() {
-        let t = WorkloadGen::new(Benchmark::Qsort, 1_500, 9).collect_trace();
+        let t = SyntheticSource::new(Benchmark::Qsort, 1_500, 9).trace();
         let driver = RedundantDriver::new(CoreConfig::table1());
         let run = || {
             let mut policy = MinimalDuplex {
@@ -718,7 +733,7 @@ mod tests {
     #[should_panic(expected = "faults must be sorted")]
     fn unsorted_faults_rejected() {
         use unsync_fault::{FaultKind, FaultSite, FaultTarget};
-        let t = WorkloadGen::new(Benchmark::Gzip, 100, 1).collect_trace();
+        let t = SyntheticSource::new(Benchmark::Gzip, 100, 1).trace();
         let f = |at| PairFault {
             at,
             core: 0,

@@ -49,6 +49,14 @@ const DEFAULT_JOURNAL_CAP: usize = 65_536;
 pub(crate) const LATENCY_HIST_BOUNDS: [f64; 6] =
     [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
 
+/// Bucket bounds (bank index) for the per-bank L2 conflict histogram
+/// (`<scheme>.l2_bank_conflicts`): one finite bucket per bank of the
+/// widest supported interleave, observations are bank indices, so each
+/// bucket's count is that bank's conflict tally.
+pub(crate) const L2_BANK_HIST_BOUNDS: [f64; 16] = [
+    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+];
+
 /// One kind of trace event a redundancy scheme can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -184,6 +192,11 @@ pub(crate) struct SchemeCounters {
     /// `<scheme>.detection_to_recovery_cycles` — one observation per
     /// episode with a preceding detection stamp.
     pub detect_latency: Histogram,
+    /// `<scheme>.l2_bank_conflicts` — one observation per recorded
+    /// bank-conflict stall, valued at the conflicted bank's index, so
+    /// the bucket profile is the per-bank occupancy-pressure histogram
+    /// the dashboard renders.
+    pub l2_banks: Histogram,
 }
 
 /// The (cached) counter handles for `scheme`.
@@ -212,6 +225,7 @@ pub(crate) fn scheme_counters(scheme: &str) -> Arc<SchemeCounters> {
             &format!("{scheme}.detection_to_recovery_cycles"),
             &LATENCY_HIST_BOUNDS,
         ),
+        l2_banks: m.histogram(&format!("{scheme}.l2_bank_conflicts"), &L2_BANK_HIST_BOUNDS),
     });
     cache.insert(scheme.to_string(), Arc::clone(&c));
     c

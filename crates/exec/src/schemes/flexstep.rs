@@ -109,9 +109,9 @@ impl std::ops::Deref for FlexOutcome {
 /// ```
 /// use unsync_exec::schemes::{FlexConfig, FlexPair};
 /// use unsync_sim::CoreConfig;
-/// use unsync_workloads::{Benchmark, WorkloadGen};
+/// use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 ///
-/// let trace = WorkloadGen::new(Benchmark::Gzip, 2_000, 1).collect_trace();
+/// let trace = SyntheticSource::new(Benchmark::Gzip, 2_000, 1).trace();
 /// let out = FlexPair::new(CoreConfig::table1(), FlexConfig::with_window(64)).run(&trace, &[]);
 /// assert_eq!(out.compares, 2_000 / 64 + 1); // ⌈n/W⌉
 /// assert!(out.correct());
@@ -372,10 +372,10 @@ impl RedundancyPolicy for FlexGranularityPolicy {
 mod tests {
     use super::*;
     use unsync_fault::{FaultKind, FaultSite};
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     fn trace(n: u64, seed: u64) -> TraceProgram {
-        WorkloadGen::new(Benchmark::Gzip, n, seed).collect_trace()
+        SyntheticSource::new(Benchmark::Gzip, n, seed).trace()
     }
 
     fn pair(window: u32) -> FlexPair {

@@ -64,9 +64,9 @@ impl std::ops::Deref for SecdedOnlyOutcome {
 /// ```
 /// use unsync_exec::schemes::SecdedOnlyCore;
 /// use unsync_sim::CoreConfig;
-/// use unsync_workloads::{Benchmark, WorkloadGen};
+/// use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 ///
-/// let trace = WorkloadGen::new(Benchmark::Sha, 2_000, 1).collect_trace();
+/// let trace = SyntheticSource::new(Benchmark::Sha, 2_000, 1).trace();
 /// let out = SecdedOnlyCore::new(CoreConfig::table1()).run(&trace, &[]);
 /// assert!(out.correct());
 /// assert_eq!(out.corrected_in_place, 0);
@@ -303,10 +303,10 @@ impl RedundancyPolicy for SecdedOnlyPolicy {
 mod tests {
     use super::*;
     use unsync_fault::inject::ALL_TARGETS;
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     fn trace(n: u64, seed: u64) -> TraceProgram {
-        WorkloadGen::new(Benchmark::Sha, n, seed).collect_trace()
+        SyntheticSource::new(Benchmark::Sha, n, seed).trace()
     }
 
     fn fault(at: u64, target: FaultTarget, kind: FaultKind) -> PairFault {

@@ -71,9 +71,9 @@ impl std::ops::Deref for TmrOutcome {
 /// ```
 /// use unsync_exec::schemes::TmrTriple;
 /// use unsync_sim::CoreConfig;
-/// use unsync_workloads::{Benchmark, WorkloadGen};
+/// use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 ///
-/// let trace = WorkloadGen::new(Benchmark::Sha, 2_000, 1).collect_trace();
+/// let trace = SyntheticSource::new(Benchmark::Sha, 2_000, 1).trace();
 /// let out = TmrTriple::new(CoreConfig::table1()).run(&trace, &[]);
 /// assert_eq!(out.core.committed, 2_000);
 /// assert_eq!(out.rollbacks, 0);
@@ -373,10 +373,10 @@ impl RedundancyPolicy for TmrVotePolicy {
 mod tests {
     use super::*;
     use unsync_fault::{FaultKind, FaultSite};
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     fn trace(n: u64, seed: u64) -> TraceProgram {
-        WorkloadGen::new(Benchmark::Gzip, n, seed).collect_trace()
+        SyntheticSource::new(Benchmark::Gzip, n, seed).trace()
     }
 
     fn fault(at: u64, core: usize, target: FaultTarget, bit: u64) -> PairFault {

@@ -82,6 +82,16 @@ impl TraceProgram {
     }
 }
 
+/// Two traces are equal when they contain the same instructions; the
+/// replay cursor is transient state and does not participate.
+impl PartialEq for TraceProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.insts == other.insts
+    }
+}
+
+impl Eq for TraceProgram {}
+
 impl InstStream for TraceProgram {
     fn next_inst(&mut self) -> Option<Inst> {
         let inst = self.insts.get(self.cursor).copied();

@@ -76,6 +76,8 @@ impl L2ContentionConfig {
 pub struct L2ContentionEvent {
     /// Global core index of the requester.
     pub core: usize,
+    /// Index of the contended bank (`line % banks`).
+    pub bank: usize,
     /// Cycle at which the request arrived at the bank.
     pub cycle: u64,
     /// Cycles the request waited for the bank port.
@@ -139,7 +141,12 @@ impl L2Contention {
         if stall > 0 {
             self.conflicts += 1;
             self.stall_cycles += stall;
-            self.events.push(L2ContentionEvent { core, cycle, stall });
+            self.events.push(L2ContentionEvent {
+                core,
+                bank,
+                cycle,
+                stall,
+            });
         }
         stall
     }
@@ -206,6 +213,7 @@ mod tests {
             evs,
             vec![L2ContentionEvent {
                 core: 3,
+                bank: 0,
                 cycle: 52,
                 stall: 3
             }]

@@ -97,6 +97,34 @@ impl Histogram {
         }
     }
 
+    /// Records `n` identical observations of `v` in one update (one
+    /// bucket/count bump instead of `n` — used for pre-aggregated
+    /// per-key tallies like the driver's per-bank conflict counts).
+    pub fn observe_n(&self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let h = &*self.0;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        h.count.fetch_add(n, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v * n as f64).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)

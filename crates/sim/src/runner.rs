@@ -76,7 +76,7 @@ pub fn run_baseline<S: InstStream>(cfg: CoreConfig, stream: &mut S) -> SimResult
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     #[test]
     fn baseline_runs_every_benchmark_sanely() {
@@ -86,7 +86,7 @@ mod tests {
             Benchmark::Mcf,
             Benchmark::Sha,
         ] {
-            let mut g = WorkloadGen::new(b, 20_000, 1);
+            let mut g = SyntheticSource::new(b, 20_000, 1).trace();
             let r = run_baseline(CoreConfig::table1(), &mut g);
             assert_eq!(r.core.committed, 20_000);
             // mcf's 8 MB pointer-chasing working set is legitimately
@@ -105,11 +105,11 @@ mod tests {
     fn cache_friendly_beats_cache_hostile() {
         let sha = run_baseline(
             CoreConfig::table1(),
-            &mut WorkloadGen::new(Benchmark::Sha, 20_000, 2),
+            &mut SyntheticSource::new(Benchmark::Sha, 20_000, 2).trace(),
         );
         let mcf = run_baseline(
             CoreConfig::table1(),
-            &mut WorkloadGen::new(Benchmark::Mcf, 20_000, 2),
+            &mut SyntheticSource::new(Benchmark::Mcf, 20_000, 2).trace(),
         );
         assert!(
             sha.ipc() > mcf.ipc(),
@@ -125,7 +125,7 @@ mod tests {
         let run = || {
             run_baseline(
                 CoreConfig::table1(),
-                &mut WorkloadGen::new(Benchmark::Ammp, 10_000, 5),
+                &mut SyntheticSource::new(Benchmark::Ammp, 10_000, 5).trace(),
             )
         };
         assert_eq!(run(), run());
@@ -137,7 +137,7 @@ mod tests {
         // memory-bound code keeps it busy with *useful* work.
         let galgel = run_baseline(
             CoreConfig::table1(),
-            &mut WorkloadGen::new(Benchmark::Galgel, 20_000, 3),
+            &mut SyntheticSource::new(Benchmark::Galgel, 20_000, 3).trace(),
         );
         assert!(
             galgel.core.avg_rob_occupancy() > 20.0,
@@ -150,11 +150,11 @@ mod tests {
 #[cfg(test)]
 mod debug_tests {
     use super::*;
-    use unsync_workloads::{Benchmark, WorkloadGen};
+    use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
 
     #[test]
     fn debug_dump() {
-        let mut g = WorkloadGen::new(Benchmark::Bzip2, 20_000, 1);
+        let mut g = SyntheticSource::new(Benchmark::Bzip2, 20_000, 1).trace();
         let r = run_baseline(CoreConfig::table1(), &mut g);
         eprintln!("{:#?}", r);
         eprintln!("avg_rob_occ {}", r.core.avg_rob_occupancy());

@@ -31,9 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod kernels;
 pub mod profile;
 pub mod rng;
+pub mod source;
 
 pub use gen::{PhaseModel, WorkloadGen};
+pub use kernels::{Kernel, KernelSource};
 pub use profile::{Benchmark, BenchmarkProfile, Suite};
 pub use rng::SplitMixStream;
+pub use source::{AnySource, SyntheticSource, WorkloadSource, WorkloadSpec};

@@ -100,7 +100,34 @@ fn scheme_values_quick_match_golden() {
     for row in &rows {
         log.record(render::jsonl::scheme_values(row));
     }
+    // The measured real-ISA kernel rows append strictly after the
+    // synthetic rows: the pre-existing snapshot lines keep their byte
+    // positions (see `synthetic_scheme_rows_are_an_untouched_prefix`).
+    let kernel_rows = experiments::kernel_scheme_values_on(Runner::new(2), cfg);
+    for row in &kernel_rows {
+        log.record(render::jsonl::scheme_values(row));
+    }
     check("schemes", log.deterministic_lines());
+}
+
+/// Pins the seam refactor's no-drift guarantee: the synthetic scheme
+/// rows (header + three benchmarks x three schemes) must remain a
+/// byte-identical prefix of `schemes.jsonl` — kernel rows may only
+/// append after them.
+#[test]
+fn synthetic_scheme_rows_are_an_untouched_prefix() {
+    let cfg = ExperimentConfig::quick();
+    let rows = experiments::scheme_values_on(Runner::new(2), cfg);
+    let mut log = RunLog::start("schemes", cfg);
+    for row in &rows {
+        log.record(render::jsonl::scheme_values(row));
+    }
+    let prefix = log.deterministic_lines().join("\n") + "\n";
+    let snapshot = fs::read_to_string(golden_path("schemes")).expect("schemes golden");
+    assert!(
+        snapshot.starts_with(&prefix),
+        "synthetic scheme rows must stay a byte-identical prefix of schemes.jsonl"
+    );
 }
 
 #[test]
