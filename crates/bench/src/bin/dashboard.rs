@@ -13,8 +13,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use unsync_bench::dashboard::{
-    diff_dirs, load_dir, render_scheme_table, scheme_rows, scheme_stats, DiffOptions,
+    diff_dirs, load_dir, render_scheme_table, roec_table, scheme_rows, scheme_stats, DiffOptions,
 };
+use unsync_bench::roec_uncore::render_vulnerability_table;
 use unsync_bench::runlog;
 
 fn usage() -> ExitCode {
@@ -55,6 +56,15 @@ fn main() -> ExitCode {
         logs.len()
     );
     print!("{}", render_scheme_table(&rows));
+    let roec = roec_table(&logs);
+    if roec.total() > 0 {
+        println!();
+        println!(
+            "Uncore vulnerability (ROEC campaign, {} strikes)",
+            roec.total()
+        );
+        print!("{}", render_vulnerability_table(&roec));
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,7 +1,29 @@
 //! Regenerates §VI-D: the region-of-error-coverage comparison via fault
-//! injection on both architectures.
+//! injection on both architectures — and runs the uncore vulnerability
+//! campaign (ROEC 2.0, `unsync_bench::roec_uncore`): structure × scheme
+//! × strike over the shared machinery, each strike classified masked /
+//! detected-recovered / detected-unrecoverable / SDC against the golden
+//! memory image.
+//!
+//! Prints both tables, writes the `roec` and `roec_uncore` JSONL run
+//! logs (dashboard-diffable) and the `BENCH_roec.json` campaign
+//! summary.
+//!
+//! Environment knobs: `UNSYNC_SEED` (campaign base seed, default 11),
+//! `UNSYNC_ROEC_SMOKE=1` (CI smoke grid: short traces, 2 strikes per
+//! cell), `UNSYNC_ROEC_OUT` (summary path, default `BENCH_roec.json`),
+//! and `UNSYNC_WORKERS`.
 
-use unsync_bench::{experiments, render, ExperimentConfig, RunLog, Runner};
+use unsync_bench::roec_uncore::{campaign_log, render_table, run_campaign, summary_json};
+use unsync_bench::{experiments, render, ExperimentConfig, RoecUncoreConfig, RunLog, Runner};
+
+/// Where the machine-readable campaign summary lands (workspace root
+/// under CI).
+const DEFAULT_OUT_PATH: &str = "BENCH_roec.json";
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -11,11 +33,50 @@ fn main() {
     for rec in render::jsonl::roec(&report) {
         log.record(rec);
     }
-    if let Some(p) = log.write(Runner::from_env().workers()) {
+    let runner = Runner::from_env();
+    if let Some(p) = log.write(runner.workers()) {
         eprintln!("run log: {}", p.display());
     }
     println!();
     println!("Paper claims: both architectures execute correctly in the presence of the");
     println!("errors they cover, but Reunion's ROEC stops at the pre-commit pipeline");
     println!("(ARF/TLB strikes escape), while UnSync covers every sequential block + L1.");
+
+    // ── ROEC 2.0: the uncore vulnerability campaign ──────────────────
+    let seed = env_u64("UNSYNC_SEED").unwrap_or(11);
+    let ucfg = if std::env::var("UNSYNC_ROEC_SMOKE").is_ok_and(|v| v.trim() == "1") {
+        RoecUncoreConfig::smoke(seed)
+    } else {
+        RoecUncoreConfig::full(seed)
+    };
+    println!();
+    println!(
+        "Uncore vulnerability campaign ({} × {} insts, seed {}, {} strikes/cell, horizon {})",
+        ucfg.benchmark.name(),
+        ucfg.inst_count,
+        ucfg.seed,
+        ucfg.strikes_per_cell,
+        ucfg.horizon()
+    );
+    let records = run_campaign(&ucfg, &runner);
+    print!("{}", render_table(&records));
+    println!();
+    println!("Paper claims (§III-B1): UnSync's uncore placement — SECDED L2, parity MSHRs,");
+    println!("duplicated arbiters, fingerprinted CB — leaves no live uncore strike silent,");
+    println!("where TMR's sphere of replication ends at the core boundary (bare uncore).");
+
+    let out_path =
+        std::env::var("UNSYNC_ROEC_OUT").unwrap_or_else(|_| DEFAULT_OUT_PATH.to_string());
+    let mut text = summary_json(&ucfg, &records).render();
+    text.push('\n');
+    match std::fs::write(&out_path, &text) {
+        Ok(()) => println!("wrote {out_path} ({} strikes)", records.len()),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(p) = campaign_log(&ucfg, &records).write(runner.workers()) {
+        eprintln!("run log: {}", p.display());
+    }
 }

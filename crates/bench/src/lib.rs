@@ -23,6 +23,7 @@ pub mod kernelstats;
 pub mod lanesweep;
 pub mod microbench;
 pub mod render;
+pub mod roec_uncore;
 pub mod runlog;
 pub mod runner;
 pub mod stats;
@@ -32,6 +33,7 @@ pub use experiments::{
     RoecReport, SchemeValuesRow, SerSweep,
 };
 pub use lanesweep::{run_sweep, sweep_point, LaneSweepConfig, LaneSweepRow};
+pub use roec_uncore::{run_campaign, RoecUncoreConfig, StrikeRecord};
 pub use runlog::{Json, RunLog};
 pub use runner::{baseline_cycles, job_seed, job_stream, Runner};
 pub use stats::{multi_seed, Summary};

@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+use unsync_fault::crc16_word;
 use unsync_mem::MemSystem;
 
 /// When a CB entry's single copy may leave for the L2.
@@ -48,6 +49,32 @@ struct CbEntry {
     /// Completion cycle of the drain to L2 (`u64::MAX` until the partner
     /// entry arrives and the drain is scheduled).
     drain_done: u64,
+    /// CRC-16 fingerprint over (seq, line), written at push time and
+    /// re-verified before the entry may leave the pair (§III-B1: CB
+    /// entries are fingerprint-protected, not merely compared).
+    fp: u16,
+}
+
+/// The CRC-16 fingerprint a CB entry carries over its (seq, line) pair.
+pub fn cb_fingerprint(seq: u64, line: u64) -> u16 {
+    crc16_word(crc16_word(0xFFFF, seq), line)
+}
+
+impl CbEntry {
+    fn sealed(seq: u64, line: u64, ready: u64) -> Self {
+        CbEntry {
+            seq,
+            line,
+            ready,
+            drain_done: u64::MAX,
+            fp: cb_fingerprint(seq, line),
+        }
+    }
+
+    /// True when the stored fingerprint still matches the entry content.
+    fn fp_ok(&self) -> bool {
+        self.fp == cb_fingerprint(self.seq, self.line)
+    }
 }
 
 /// Statistics of one CB side.
@@ -73,6 +100,9 @@ pub struct PairedCb {
     pub stats: [CbSideStats; 2],
     /// Entries drained to the L2 (one copy per matched pair).
     pub drained: u64,
+    /// Pair completions rejected because a side's fingerprint no longer
+    /// matched its content (a strike hit the CB entry in flight).
+    pub fingerprint_mismatches: u64,
 }
 
 impl PairedCb {
@@ -102,6 +132,7 @@ impl PairedCb {
             ],
             stats: [CbSideStats::default(); 2],
             drained: 0,
+            fingerprint_mismatches: 0,
         }
     }
 
@@ -166,12 +197,7 @@ impl PairedCb {
             now = head.drain_done;
             self.retire(core, now);
         }
-        self.sides[core].push_back(CbEntry {
-            seq,
-            line,
-            ready: now,
-            drain_done: u64::MAX,
-        });
+        self.sides[core].push_back(CbEntry::sealed(seq, line, now));
 
         let partner = core ^ 1;
         let partner_idx = self.sides[partner].iter().position(|e| e.seq == seq);
@@ -179,10 +205,18 @@ impl PairedCb {
             DrainPolicy::BothComplete => {
                 // If the partner already holds this seq, the pair is
                 // complete: schedule the single-copy drain (over the
-                // pair's CB→L2 path in Fig. 1).
+                // pair's CB→L2 path in Fig. 1) — but only after both
+                // fingerprints check out. A struck entry never compares
+                // silently equal; it pends here until recovery
+                // overwrites it.
                 if let Some(pidx) = partner_idx {
-                    let pready = self.sides[partner][pidx].ready;
-                    let start = pready.max(now);
+                    let mine = *self.sides[core].back().expect("just pushed");
+                    let theirs = self.sides[partner][pidx];
+                    if !mine.fp_ok() || !theirs.fp_ok() || mine.fp != theirs.fp {
+                        self.fingerprint_mismatches += 1;
+                        return now;
+                    }
+                    let start = theirs.ready.max(now);
                     let done = mem.drain_write(self.core_base, line, start);
                     self.sides[partner][pidx].drain_done = done;
                     self.sides[core].back_mut().expect("just pushed").drain_done = done;
@@ -207,6 +241,40 @@ impl PairedCb {
             }
         }
         now
+    }
+
+    /// Strike delivery: flips bit `bit % 64` of the line field of the
+    /// `slot`-th in-flight entry on `core`'s side at `cycle`. Returns
+    /// `false` (masked) when the slot is empty. An entry is strikeable
+    /// for its whole residency — unmatched (pending fingerprint
+    /// comparison) *or* matched-but-undrained (the line sits in CB SRAM
+    /// until the bus drain at `drain_done` completes; the fingerprint
+    /// is re-verified at bus grant, so a post-match flip is still
+    /// caught, never silently evicted).
+    pub fn corrupt_entry(&mut self, core: usize, slot: usize, bit: u64, cycle: u64) -> bool {
+        self.retire(core, cycle);
+        match self.sides[core].get_mut(slot) {
+            Some(e) => {
+                e.line ^= 1u64 << (bit % 64);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Strike delivery on the tag/fingerprint side: flips bit
+    /// `bit % 16` of the stored fingerprint of the `slot`-th entry on
+    /// `core`'s side at `cycle`. Same residency rule as
+    /// [`PairedCb::corrupt_entry`].
+    pub fn corrupt_fingerprint(&mut self, core: usize, slot: usize, bit: u64, cycle: u64) -> bool {
+        self.retire(core, cycle);
+        match self.sides[core].get_mut(slot) {
+            Some(e) => {
+                e.fp ^= 1u16 << (bit % 16);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// RECOVERY step 5: the erroneous core's CB content is overwritten by
@@ -251,6 +319,9 @@ pub struct GroupCb {
     pub drained: u64,
     /// Pushes that found a side full.
     pub full_events: u64,
+    /// Group completions rejected because a replica's fingerprint no
+    /// longer matched its content.
+    pub fingerprint_mismatches: u64,
 }
 
 impl GroupCb {
@@ -265,6 +336,7 @@ impl GroupCb {
                 .collect(),
             drained: 0,
             full_events: 0,
+            fingerprint_mismatches: 0,
         }
     }
 
@@ -308,12 +380,7 @@ impl GroupCb {
             now = head.drain_done;
             self.retire(core, now);
         }
-        self.sides[core].push_back(CbEntry {
-            seq,
-            line,
-            ready: now,
-            drain_done: u64::MAX,
-        });
+        self.sides[core].push_back(CbEntry::sealed(seq, line, now));
 
         // Group complete?
         let positions: Vec<Option<usize>> = self
@@ -322,10 +389,22 @@ impl GroupCb {
             .map(|side| side.iter().position(|e| e.seq == seq))
             .collect();
         if positions.iter().all(|p| p.is_some()) {
-            let start = positions
+            // Every replica's fingerprint must verify and all must
+            // agree before the single copy leaves the group — a struck
+            // entry is never outvoted silently.
+            let entries: Vec<CbEntry> = positions
                 .iter()
                 .enumerate()
-                .map(|(c, p)| self.sides[c][p.unwrap()].ready)
+                .map(|(c, p)| self.sides[c][p.unwrap()])
+                .collect();
+            let reference = entries[0].fp;
+            if entries.iter().any(|e| !e.fp_ok() || e.fp != reference) {
+                self.fingerprint_mismatches += 1;
+                return now;
+            }
+            let start = entries
+                .iter()
+                .map(|e| e.ready)
                 .max()
                 .expect("at least two sides");
             let done = mem.drain_write(0, line, start);
@@ -335,6 +414,22 @@ impl GroupCb {
             self.drained += 1;
         }
         now
+    }
+
+    /// Strike delivery: flips bit `bit % 64` of the line field of the
+    /// `slot`-th in-flight entry on replica `core`'s side at `cycle`
+    /// (masked when the slot is empty). Same residency rule as
+    /// [`PairedCb::corrupt_entry`]: an entry is strikeable until its
+    /// bus drain completes.
+    pub fn corrupt_entry(&mut self, core: usize, slot: usize, bit: u64, cycle: u64) -> bool {
+        self.retire(core, cycle);
+        match self.sides[core].get_mut(slot) {
+            Some(e) => {
+                e.line ^= 1u64 << (bit % 64);
+                true
+            }
+            _ => false,
+        }
     }
 }
 

@@ -21,7 +21,10 @@
 //!    forward*, no re-execution.
 
 use serde::{Deserialize, Serialize};
-use unsync_exec::{LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, TraceEventKind};
+use unsync_exec::{
+    LaneState, OutcomeCore, RedundancyPolicy, RedundantDriver, SegmentVerdict, TraceEventKind,
+};
+use unsync_fault::uncore::{UncoreProtection, UncoreStrike, UncoreTarget};
 use unsync_fault::{DetectionMechanism, FaultKind, FaultTarget, PairFault};
 use unsync_isa::{Inst, TraceProgram};
 use unsync_mem::{MemSystem, WritePolicy};
@@ -153,6 +156,9 @@ pub struct UnsyncPolicy {
     /// End cycle of the most recent recovery, and which core was the
     /// error-free source — the Fig. 2 hazard window.
     recovery_window: Option<(u64, usize)>,
+    /// A directed (liveness-conditioned) CB strike waiting for the
+    /// buffer to refill — see [`UnsyncPolicy::uncore_strike`].
+    pending_cb_strike: Option<UncoreStrike>,
 }
 
 impl UnsyncPolicy {
@@ -171,7 +177,58 @@ impl UnsyncPolicy {
             hooks: [NullHooks, NullHooks],
             cb: PairedCb::for_cores(ucfg.cb_entries, ucfg.drain_policy, core_base),
             recovery_window: None,
+            pending_cb_strike: None,
         }
+    }
+
+    /// Attempts to land a CB strike at the lane's current cycle.
+    /// Returns `false` only for a directed strike that found the struck
+    /// side empty — the caller pends it until the buffer refills. A
+    /// uniform strike against an empty slot is simply benign.
+    fn try_cb_strike(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        strike: &UncoreStrike,
+    ) -> bool {
+        let now = lane.now();
+        // Entry index interleaves the two sides; the slot addresses
+        // that side's queue (capacity-wrapped for uniform strikes,
+        // occupancy-wrapped for directed ones so they hit a resident
+        // entry whenever one exists).
+        let entry = strike.site.entry_index();
+        let side = (entry % 2) as usize;
+        let occ = self.cb.occupancy(side, now);
+        if occ == 0 && strike.directed {
+            return false;
+        }
+        let slot = if strike.directed {
+            (entry / 2) as usize % occ.max(1)
+        } else {
+            (entry / 2) as usize % self.cb.capacity()
+        };
+        let hit = match strike.site.target {
+            UncoreTarget::CbData => self
+                .cb
+                .corrupt_entry(side, slot, strike.site.bit_offset, now),
+            _ => self
+                .cb
+                .corrupt_fingerprint(side, slot, strike.site.bit_offset, now),
+        };
+        if !hit {
+            lane.events
+                .emit_at(TraceEventKind::BenignFault, strike.site.bit_offset, now);
+            return true;
+        }
+        // The fingerprint check at pair completion (or bus grant)
+        // would refuse to drain this entry; the EIH treats the
+        // mismatch like any other detection and runs recovery, with
+        // the struck side as the erroneous core.
+        lane.events
+            .emit_at(TraceEventKind::Detection, strike.site.bit_offset, now);
+        let recovery_end = self.recover(mem, lane, side);
+        self.recovery_window = Some((recovery_end, side ^ 1));
+        true
     }
 
     /// The §III-A always-forward recovery procedure. Returns the cycle
@@ -452,13 +509,72 @@ impl RedundancyPolicy for UnsyncPolicy {
         }
     }
 
-    fn finish(&mut self, _mem: &mut MemSystem, lane: &mut LaneState) {
+    fn finish(&mut self, mem: &mut MemSystem, lane: &mut LaneState) {
+        // A directed CB strike the run never refilled for dies benign:
+        // the buffer held nothing strikeable for the rest of the run.
+        if let Some(strike) = self.pending_cb_strike.take() {
+            if !self.try_cb_strike(mem, lane, &strike) {
+                lane.events.emit_at(
+                    TraceEventKind::BenignFault,
+                    strike.site.bit_offset,
+                    lane.now(),
+                );
+            }
+        }
         lane.events
             .emit_value(TraceEventKind::CbDrain, self.cb.drained);
         lane.events.emit_value(
             TraceEventKind::CbFullStall,
             self.cb.stats[0].full_stall_cycles + self.cb.stats[1].full_stall_cycles,
         );
+    }
+
+    /// The full §III-B1 profile: SECDED on the shared L2 arrays, parity
+    /// on the MSHRs, duplicated bank arbiters, and the fingerprinted CB.
+    fn uncore_protection(&self) -> UncoreProtection {
+        UncoreProtection::unsync()
+    }
+
+    /// Delivers any pending liveness-conditioned CB strike once the
+    /// buffer has refilled (see [`UnsyncPolicy::uncore_strike`]);
+    /// per-instruction segments always commit.
+    fn end_segment(
+        &mut self,
+        mem: &mut MemSystem,
+        lane: &mut LaneState,
+        insts: &[Inst],
+        start: usize,
+        end: usize,
+        attempt: u32,
+    ) -> SegmentVerdict {
+        let _ = (insts, start, end, attempt);
+        if let Some(strike) = self.pending_cb_strike {
+            if self.try_cb_strike(mem, lane, &strike) {
+                self.pending_cb_strike = None;
+            }
+        }
+        SegmentVerdict::Commit
+    }
+
+    /// CB strikes hit the *real* buffer this policy owns: the struck
+    /// entry is corrupted in place, its fingerprint can no longer
+    /// verify, and the machine runs the §III-A recovery procedure (the
+    /// error-free side's CB overwrites the struck one — recovery step
+    /// 5). A *directed* (liveness-conditioned) strike that finds the
+    /// buffer momentarily empty pends until the struck side next holds
+    /// an entry — CB residency is bursty (entries live only between
+    /// push and bus drain), so conditioning on occupancy means
+    /// rejection-sampling in time, not just in space. Every other
+    /// structure takes the generic mechanism-table delivery.
+    fn uncore_strike(&mut self, mem: &mut MemSystem, lane: &mut LaneState, strike: &UncoreStrike) {
+        match strike.site.target {
+            UncoreTarget::CbData | UncoreTarget::CbTag => {
+                if !self.try_cb_strike(mem, lane, strike) {
+                    self.pending_cb_strike = Some(*strike);
+                }
+            }
+            _ => unsync_exec::uncore::deliver(&self.uncore_protection(), mem, lane, strike),
+        }
     }
 }
 

@@ -23,6 +23,7 @@
 //! requesting lane and surface as cycle-stamped
 //! [`TraceEventKind::L2Contention`] events in that lane's stream.
 
+use unsync_fault::uncore::UncoreStrike;
 use unsync_fault::PairFault;
 use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
 use unsync_mem::{HierarchyConfig, L2ContentionConfig, MemSystem};
@@ -287,11 +288,52 @@ impl RedundantDriver {
         traces: &[TraceProgram],
         faults: &[Vec<PairFault>],
     ) -> (Vec<RunResult>, MemSystem) {
+        self.run_system_inner(policies, traces, faults, &[], false)
+    }
+
+    /// Like [`RedundantDriver::run_system_with_faults`], but
+    /// additionally striking *uncore* state ([`UncoreStrike`]) by
+    /// cycle: `uncore[p]` hits lane `p`, sorted by strike cycle. Each
+    /// strike is handed to the lane policy's
+    /// [`RedundancyPolicy::uncore_strike`] at the first tick whose lane
+    /// clock has reached the strike cycle, *before* that tick's
+    /// instruction (and therefore before any core-side fault of the
+    /// same tick — within a tick the uncore→core delivery order is a
+    /// defined contract, not a race). Strikes scheduled past the lane's
+    /// final cycle are delivered once at the final clock, where they
+    /// mostly find dead state.
+    ///
+    /// Every lane's event stream has the cycle-stamped journal forced
+    /// on (the ROEC classifier reads it); journals are excluded from
+    /// [`EventStream`] equality, so a zero-strike call remains
+    /// result-identical to [`RedundantDriver::run_system`].
+    pub fn run_system_with_uncore_faults<P: RedundancyPolicy>(
+        &self,
+        policies: &mut [P],
+        traces: &[TraceProgram],
+        faults: &[Vec<PairFault>],
+        uncore: &[Vec<UncoreStrike>],
+    ) -> (Vec<RunResult>, MemSystem) {
+        self.run_system_inner(policies, traces, faults, uncore, true)
+    }
+
+    fn run_system_inner<P: RedundancyPolicy>(
+        &self,
+        policies: &mut [P],
+        traces: &[TraceProgram],
+        faults: &[Vec<PairFault>],
+        uncore: &[Vec<UncoreStrike>],
+        journal: bool,
+    ) -> (Vec<RunResult>, MemSystem) {
         assert!(!traces.is_empty(), "at least one pair");
         assert_eq!(policies.len(), traces.len(), "one policy per lane");
         assert!(
             faults.is_empty() || faults.len() == traces.len(),
             "one fault schedule per lane (or none at all)"
+        );
+        assert!(
+            uncore.is_empty() || uncore.len() == traces.len(),
+            "one uncore schedule per lane (or none at all)"
         );
         let lanes = traces.len();
         let n = policies[0].replicas();
@@ -317,6 +359,23 @@ impl RedundantDriver {
             .enumerate()
             .map(|(p, (policy, trace))| {
                 let mut lane = LaneState::new(self.ccfg, n, p * n);
+                if journal {
+                    lane.events = EventStream::with_journal(crate::event::DEFAULT_JOURNAL_CAP);
+                }
+                let lane_uncore: Vec<UncoreStrike> = match uncore.get(p) {
+                    Some(u) if !u.is_empty() => {
+                        assert!(
+                            u.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+                            "uncore strikes must be sorted by cycle"
+                        );
+                        assert!(
+                            u.iter().all(|s| s.lane == p),
+                            "uncore strike addressed to the wrong lane"
+                        );
+                        u.clone()
+                    }
+                    _ => Vec::new(),
+                };
                 let lane_faults = match faults.get(p) {
                     Some(f) if !f.is_empty() => {
                         assert!(
@@ -342,6 +401,9 @@ impl RedundantDriver {
                     idx: 0,
                     faults: lane_faults,
                     next_fault: 0,
+                    uncore: lane_uncore,
+                    next_uncore: 0,
+                    last_delivery_cycle: 0,
                 }
             })
             .collect();
@@ -353,8 +415,19 @@ impl RedundantDriver {
         let mut results = Vec::with_capacity(lanes);
         for (runner, golden) in runners.into_iter().zip(goldens.iter()) {
             let LaneRunner {
-                policy, mut lane, ..
+                policy,
+                mut lane,
+                uncore: lane_uncore,
+                next_uncore,
+                ..
             } = runner;
+            // Strikes past the lane's last tick: deliver them at the
+            // final clock, where state is usually dead (masked) — a
+            // schedule must never silently lose strikes.
+            for strike in &lane_uncore[next_uncore..] {
+                policy.uncore_strike(&mut mem, &mut lane, strike);
+                lane.sync_clock();
+            }
             self.finalize(policy, &mut mem, &mut lane, golden.as_ref());
             results.push(RunResult {
                 out: lane.out,
@@ -421,6 +494,20 @@ impl RedundantDriver {
                 true,
             );
             policies[p].after_instruction(&mut mem, &mut lane_states[p], inst, seq, &[], true);
+            lane_states[p].sync_clock();
+            let verdict = policies[p].end_segment(
+                &mut mem,
+                &mut lane_states[p],
+                traces[p].insts(),
+                idx[p],
+                idx[p] + 1,
+                0,
+            );
+            assert_ne!(
+                verdict,
+                SegmentVerdict::Retry,
+                "run_system supports per-instruction, non-rollback policies only"
+            );
             lane_states[p].sync_clock();
             Self::drain_l2_events(&mut mem, &mut lane_states[p]);
             lane_states[p].out.committed += 1;
@@ -630,6 +717,17 @@ struct LaneRunner<'a, P: RedundancyPolicy> {
     faults: Vec<PairFault>,
     /// Cursor into `faults`: first entry not yet delivered.
     next_fault: usize,
+    /// The lane's uncore strike schedule, sorted by strike cycle.
+    uncore: Vec<UncoreStrike>,
+    /// Cursor into `uncore`: first strike not yet delivered.
+    next_uncore: usize,
+    /// Lane clock at the last tick that delivered any fault — the
+    /// cycle-ordering witness for the delivery contract (core faults
+    /// address instructions by sequence number; this pins down that
+    /// their *delivery cycles* still advance monotonically, so an
+    /// uncore strike delivered earlier by cycle can never be reordered
+    /// after a core fault delivered later).
+    last_delivery_cycle: u64,
 }
 
 impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
@@ -642,6 +740,28 @@ impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
     fn tick(&mut self, _now: u64, mem: &mut MemSystem) {
         let inst = &self.trace.insts()[self.idx];
         let seq = self.idx as u64;
+        // Uncore strikes due at this wake-up, in cycle order, BEFORE
+        // the instruction (and thus before any core fault of the same
+        // tick — the uncore→core delivery order within a tick is a
+        // defined contract, not a race). Strikes becoming due while a
+        // delivery stalls the lane wait for the next tick.
+        let wake = self.lane.now();
+        while self
+            .uncore
+            .get(self.next_uncore)
+            .is_some_and(|s| s.cycle <= wake)
+        {
+            let strike = self.uncore[self.next_uncore];
+            self.policy.uncore_strike(mem, &mut self.lane, &strike);
+            self.lane.sync_clock();
+            RedundantDriver::drain_l2_events(mem, &mut self.lane);
+            debug_assert!(
+                wake >= self.last_delivery_cycle,
+                "uncore strike delivered behind an earlier fault's cycle"
+            );
+            self.last_delivery_cycle = wake;
+            self.next_uncore += 1;
+        }
         // Faults striking this instruction (strike points are
         // instruction sequence indices, so the window is `at == seq`).
         let lo = self.next_fault;
@@ -649,6 +769,17 @@ impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
             self.next_fault += 1;
         }
         let inst_faults = &self.faults[lo..self.next_fault];
+        if lo < self.next_fault {
+            // The cycle-ordering half of the delivery contract: a core
+            // fault's delivery cycle never precedes an already
+            // delivered strike's cycle (lane clocks are monotonic, so
+            // this can only trip if delivery is reordered).
+            debug_assert!(
+                wake >= self.last_delivery_cycle,
+                "core fault delivered behind an earlier strike's cycle"
+            );
+            self.last_delivery_cycle = wake;
+        }
         self.driver.step(
             self.policy,
             mem,
@@ -660,6 +791,24 @@ impl<P: RedundancyPolicy> Component for LaneRunner<'_, P> {
         );
         self.policy
             .after_instruction(mem, &mut self.lane, inst, seq, inst_faults, true);
+        self.lane.sync_clock();
+        // Per-instruction segment boundary: schemes whose compare point
+        // lives in `end_segment` (the TMR vote) still commit under the
+        // system scheduler. Rollback (`Retry`) needs the snapshot
+        // machinery only `drive_lane` has.
+        let verdict = self.policy.end_segment(
+            mem,
+            &mut self.lane,
+            self.trace.insts(),
+            self.idx,
+            self.idx + 1,
+            0,
+        );
+        assert_ne!(
+            verdict,
+            SegmentVerdict::Retry,
+            "run_system supports per-instruction, non-rollback policies only"
+        );
         self.lane.sync_clock();
         RedundantDriver::drain_l2_events(mem, &mut self.lane);
         self.lane.out.committed += 1;

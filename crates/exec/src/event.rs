@@ -41,7 +41,8 @@ const RECENT_CAP: usize = 64;
 /// Journal capacity used when `UNSYNC_TRACE_JOURNAL` is set but not a
 /// number (e.g. `UNSYNC_TRACE_JOURNAL=1` keeps one event; `=on` keeps
 /// this many).
-const DEFAULT_JOURNAL_CAP: usize = 65_536;
+/// Default cap of the opt-in cycle-stamped journal (events per lane).
+pub const DEFAULT_JOURNAL_CAP: usize = 65_536;
 
 /// Bucket bounds (cycles) for the recovery-latency histograms every
 /// scheme publishes (`<scheme>.recovery_mttr_cycles`,

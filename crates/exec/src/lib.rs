@@ -45,6 +45,7 @@ pub mod policy;
 pub mod sched;
 pub mod schemes;
 pub mod spans;
+pub mod uncore;
 
 pub use driver::{LaneState, RedundantDriver, RunResult};
 pub use event::{EventStream, TraceEvent, TraceEventKind};
@@ -57,3 +58,4 @@ pub use schemes::{
     SecdedOnlyPolicy, TmrOutcome, TmrTriple, TmrVotePolicy,
 };
 pub use spans::{episodes_from, overlap_fraction, Episode, SpanStats, SpanTracker};
+pub use uncore::{corrupt_memory, deliver as deliver_uncore_strike, roec_events, strike_is_live};

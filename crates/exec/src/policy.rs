@@ -13,6 +13,7 @@
 //! `name` + `hooks_mut`, and yields plain unchecked redundant
 //! execution with golden verification.
 
+use unsync_fault::uncore::{UncoreProtection, UncoreStrike};
 use unsync_fault::PairFault;
 use unsync_isa::Inst;
 use unsync_mem::{MemSystem, WritePolicy};
@@ -266,5 +267,27 @@ pub trait RedundancyPolicy {
     /// or substitute the scheme's own clock into `lane.out.cycles`.
     fn finish(&mut self, mem: &mut MemSystem, lane: &mut LaneState) {
         let _ = (mem, lane);
+    }
+
+    /// The scheme's uncore protection profile: which detection
+    /// mechanism (if any) guards each shared structure. The default is
+    /// fully unprotected — schemes that carry L2 ECC or a
+    /// fingerprinted CB override this (and the campaign's AVF table is
+    /// exactly the measured consequence of the answer).
+    fn uncore_protection(&self) -> UncoreProtection {
+        UncoreProtection::unprotected()
+    }
+
+    /// Delivers one uncore strike to the lane at its current clock
+    /// (called by [`crate::RedundantDriver::run_system_with_uncore_faults`]
+    /// *before* the instruction of the tick the strike lands in).
+    /// The default plays the generic mechanism table of
+    /// [`crate::uncore::deliver`] against [`uncore_protection`];
+    /// schemes with real recovery machinery (UnSync's CB overwrite)
+    /// override delivery for the structures they own.
+    ///
+    /// [`uncore_protection`]: RedundancyPolicy::uncore_protection
+    fn uncore_strike(&mut self, mem: &mut MemSystem, lane: &mut LaneState, strike: &UncoreStrike) {
+        crate::uncore::deliver(&self.uncore_protection(), mem, lane, strike);
     }
 }

@@ -185,6 +185,13 @@ impl RedundancyPolicy for SecdedOnlyPolicy {
         false
     }
 
+    /// ECC on the L2 arrays and nothing else — no CB, no MSHR parity,
+    /// no arbiter duplication. The uncore campaign measures exactly
+    /// what that buys (and what it doesn't).
+    fn uncore_protection(&self) -> unsync_fault::uncore::UncoreProtection {
+        unsync_fault::uncore::UncoreProtection::l2_secded_only()
+    }
+
     fn hooks_mut(&mut self, _core: usize) -> &mut NullHooks {
         &mut self.hooks
     }

@@ -173,6 +173,14 @@ impl RedundancyPolicy for TmrVotePolicy {
         false
     }
 
+    /// Deliberately the unprotected default: TMR triplicates *cores*
+    /// and votes on results, but the shared L2, MSHRs, and bank
+    /// arbiters sit outside the sphere of replication — exactly the
+    /// exposure the uncore campaign quantifies.
+    fn uncore_protection(&self) -> unsync_fault::uncore::UncoreProtection {
+        unsync_fault::uncore::UncoreProtection::unprotected()
+    }
+
     fn hooks_mut(&mut self, core: usize) -> &mut NullHooks {
         &mut self.hooks[core]
     }

@@ -1,0 +1,187 @@
+//! Generic uncore strike delivery.
+//!
+//! [`deliver`] is the default implementation behind
+//! [`RedundancyPolicy::uncore_strike`]: it decides whether a strike hit
+//! *live* state (occupied L2 line, outstanding MSHR, busy bank arbiter,
+//! in-flight CB traffic), looks up the scheme's protection profile
+//! ([`UncoreProtection`]), and plays out the mechanism-vs-fault-kind
+//! table, emitting the same trace events the core-side fault paths use
+//! so the ROEC classifier reads one vocabulary:
+//!
+//! | live? | mechanism | kind | events | state |
+//! |-------|-----------|------|--------|-------|
+//! | no    | —         | —    | `BenignFault` | untouched |
+//! | yes   | none      | any  | `SilentFault` | committed word flipped |
+//! | yes   | parity    | single | `Detection` + `CorrectedInPlace` | repaired (refetch) |
+//! | yes   | parity    | adjacent double | `SilentFault` | flipped (even flips are parity-invisible) |
+//! | yes   | SECDED    | single | `Detection` + `CorrectedInPlace` | corrected |
+//! | yes   | SECDED    | adjacent double | `Detection` + `Unrecoverable` | flipped (DED, no correction) |
+//! | yes   | DMR / fingerprint | any | `Detection` + `CorrectedInPlace` | repaired from the clean copy |
+//!
+//! Schemes with real recovery machinery override the CB rows: UnSync's
+//! policy routes CB strikes through its §III-A recovery procedure
+//! instead of the generic corrected-in-place shortcut.
+//!
+//! "Committed word flipped" models the consumer-visible effect of the
+//! corruption deterministically: the strike's SplitMix64 stream picks
+//! one already-written word of the lane's committed image and flips the
+//! struck bit(s) in it. A lane with no committed writes yet has no
+//! consumer to corrupt — the strike is architecturally masked.
+//!
+//! [`RedundancyPolicy::uncore_strike`]: crate::policy::RedundancyPolicy::uncore_strike
+
+use unsync_fault::uncore::{UncoreProtection, UncoreStrike, UncoreTarget};
+use unsync_fault::{DetectionMechanism, FaultKind, RoecEvent, RoecEventKind};
+use unsync_isa::exec::splitmix64;
+use unsync_mem::MemSystem;
+
+use crate::driver::LaneState;
+use crate::event::{TraceEvent, TraceEventKind};
+
+/// Detected-unrecoverable strikes stall the lane while the machine
+/// raises the error (same cost the SECDED-only scheme charges).
+const UNRECOVERABLE_STALL: u64 = 8;
+
+/// Whether `strike` hit live (occupied, in-use) state, per the
+/// structure-specific occupancy probes. A [`UncoreStrike::directed`]
+/// strike wraps its entry index into the occupied region, so it is live
+/// whenever the structure holds *any* live state at the strike cycle.
+pub fn strike_is_live(mem: &mut MemSystem, lane: &LaneState, strike: &UncoreStrike) -> bool {
+    let site = strike.site;
+    let entry = site.entry_index() as usize;
+    match site.target {
+        // Valid lines fill the L2 from index 0 in this occupancy model:
+        // a strike is live iff its entry index falls inside the
+        // currently valid fraction.
+        UncoreTarget::L2Data | UncoreTarget::L2Tag => {
+            let valid = mem.l2_valid_lines();
+            if strike.directed {
+                valid > 0
+            } else {
+                entry < valid
+            }
+        }
+        UncoreTarget::MshrEntry => {
+            let outstanding = mem.l2_mshr_outstanding(lane.now());
+            if strike.directed {
+                return outstanding > 0;
+            }
+            let cap = mem.l2_mshr_capacity().max(1);
+            entry % cap < outstanding
+        }
+        // An arbiter strike only matters while the arbiter is actually
+        // granting (its bank busy); with the contention model off there
+        // is no arbiter state at all.
+        UncoreTarget::BankArbiter => match mem.l2_contention() {
+            Some(c) => {
+                let banks = c.config().banks as usize;
+                if strike.directed {
+                    (0..banks).any(|b| !c.bank(b).is_free(lane.now()))
+                } else {
+                    !c.bank(entry % banks).is_free(lane.now())
+                }
+            }
+            None => false,
+        },
+        // Generic CB liveness: the lane has store traffic in flight.
+        // Schemes that own a real CB override delivery and probe true
+        // occupancy instead.
+        UncoreTarget::CbData | UncoreTarget::CbTag => lane.committed_mem.footprint_words() > 0,
+    }
+}
+
+/// Flips the struck bit(s) in one deterministically chosen word of the
+/// lane's committed memory — the consumer-visible corruption of an
+/// undetected (or uncorrectable) uncore strike. Returns `false` when
+/// the image holds no written words yet (nothing to corrupt: masked).
+pub fn corrupt_memory(lane: &mut LaneState, strike: &UncoreStrike) -> bool {
+    let count = lane.committed_mem.iter().count();
+    if count == 0 {
+        return false;
+    }
+    let h = splitmix64(strike.site.bit_offset ^ splitmix64(strike.cycle ^ 0x5eed));
+    let (addr, value) = lane
+        .committed_mem
+        .iter()
+        .nth((h % count as u64) as usize)
+        .expect("index in range");
+    let mask: u64 = match strike.kind {
+        FaultKind::Single => 1 << (strike.site.bit_offset % 63),
+        FaultKind::AdjacentDouble => 0b11 << (strike.site.bit_offset % 63),
+    };
+    lane.committed_mem.write(addr, value ^ mask);
+    true
+}
+
+/// The generic mechanism-table delivery (see the [module docs](self)).
+pub fn deliver(
+    protection: &UncoreProtection,
+    mem: &mut MemSystem,
+    lane: &mut LaneState,
+    strike: &UncoreStrike,
+) {
+    let now = lane.now();
+    if !strike_is_live(mem, lane, strike) {
+        lane.events
+            .emit_at(TraceEventKind::BenignFault, strike.site.bit_offset, now);
+        return;
+    }
+    match (protection.mechanism(strike.site.target), strike.kind) {
+        (None, _) | (Some(DetectionMechanism::Parity), FaultKind::AdjacentDouble) => {
+            // Unprotected, or an even flip under parity: nothing fires.
+            lane.events
+                .emit_at(TraceEventKind::SilentFault, strike.site.bit_offset, now);
+            // When the image holds no written word yet the strike dies
+            // unseen (architecturally masked in spite of the event).
+            corrupt_memory(lane, strike);
+        }
+        (Some(DetectionMechanism::Secded), FaultKind::AdjacentDouble) => {
+            // DED without correction: the machine knows, the data is gone.
+            lane.events
+                .emit_at(TraceEventKind::Detection, strike.site.bit_offset, now);
+            lane.events
+                .emit_at(TraceEventKind::Unrecoverable, strike.site.bit_offset, now);
+            corrupt_memory(lane, strike);
+            for e in &mut lane.engines {
+                e.stall_until(now + UNRECOVERABLE_STALL);
+            }
+            lane.bump_clock(now + UNRECOVERABLE_STALL);
+        }
+        (Some(_), _) => {
+            // Parity-single (refetch), SECDED-single (correct), DMR or
+            // fingerprint (repair from the clean copy): detected and
+            // repaired before any consumer sees the flip.
+            lane.events
+                .emit_at(TraceEventKind::Detection, strike.site.bit_offset, now);
+            lane.events.emit_at(
+                TraceEventKind::CorrectedInPlace,
+                strike.site.bit_offset,
+                now,
+            );
+        }
+    }
+}
+
+/// Converts a lane's cycle-stamped journal into the classifier's event
+/// vocabulary ([`RoecEvent`]): the detection-relevant kinds map
+/// one-to-one, everything else becomes [`RoecEventKind::Other`].
+pub fn roec_events(journal: &[TraceEvent]) -> Vec<RoecEvent> {
+    journal
+        .iter()
+        .map(|e| RoecEvent {
+            kind: match e.kind {
+                TraceEventKind::Detection => RoecEventKind::Detection,
+                TraceEventKind::RecoveryStart => RoecEventKind::RecoveryStart,
+                TraceEventKind::RecoveryEnd => RoecEventKind::RecoveryEnd,
+                TraceEventKind::CorrectedInPlace => RoecEventKind::CorrectedInPlace,
+                TraceEventKind::Corrected => RoecEventKind::Corrected,
+                TraceEventKind::Unrecoverable => RoecEventKind::Unrecoverable,
+                TraceEventKind::SilentFault => RoecEventKind::SilentFault,
+                TraceEventKind::BenignFault => RoecEventKind::BenignFault,
+                _ => RoecEventKind::Other,
+            },
+            value: e.value,
+            cycle: e.cycle,
+        })
+        .collect()
+}

@@ -29,9 +29,11 @@ pub mod crc;
 pub mod dmr;
 pub mod inject;
 pub mod parity;
+pub mod roec;
 pub mod scrub;
 pub mod secded;
 pub mod ser;
+pub mod uncore;
 
 pub use avf::{AvfEstimate, SdcDueSplit};
 pub use crc::{crc16_word, Fingerprint, CRC16_CCITT_POLY};
@@ -40,6 +42,11 @@ pub use inject::{
     Coverage, DetectionMechanism, FaultKind, FaultSite, FaultTarget, InjectionPlan, PairFault,
 };
 pub use parity::{parity_bit, ParityLine, ParityWord};
+pub use roec::{
+    classify, OutcomeCounts, RoecEvent, RoecEventKind, StrikeOutcome, VulnerabilityRow,
+    VulnerabilityTable, ALL_OUTCOMES,
+};
 pub use scrub::ScrubModel;
 pub use secded::{SecdedCodeword, SecdedOutcome};
 pub use ser::{ErrorArrivals, SerRate};
+pub use uncore::{UncoreProtection, UncoreSite, UncoreStrike, UncoreTarget, ALL_UNCORE_TARGETS};

@@ -128,6 +128,19 @@ impl MemSystem {
         self.l2_mshrs.outstanding(cycle)
     }
 
+    /// Capacity of the shared-L2 MSHR file (Table I default or the
+    /// contention-config override).
+    pub fn l2_mshr_capacity(&self) -> usize {
+        self.l2_mshrs.capacity()
+    }
+
+    /// Lines currently valid in the shared L2 — the live fraction a
+    /// fault campaign needs to decide whether an L2 strike hit
+    /// occupied state.
+    pub fn l2_valid_lines(&self) -> usize {
+        self.l2.valid_lines()
+    }
+
     /// The hierarchy configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg

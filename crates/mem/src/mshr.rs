@@ -67,6 +67,11 @@ pub struct MshrFile {
 }
 
 impl MshrFile {
+    /// The number of registers in the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// A file with `capacity` registers.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use unsync::prelude::*;
+use unsync_core::GroupCb;
 
 /// Large enough that no interleaving below ever fills a side — the pair
 /// runner's "cores fed in step" contract is about stalls, not ordering,
@@ -120,6 +121,100 @@ proptest! {
             "sides diverge right after recovery"
         );
         prop_assert!(cb.is_empty(100_000_000), "recovered pair must drain dry");
+    }
+
+    /// Uncore strike on a resident CB entry (data array): a flipped
+    /// line bit breaks the stored fingerprint, so when the partner's
+    /// copy arrives the pair comparison *must* miscompare —
+    /// `fingerprint_mismatches` fires and the corrupted pair is never
+    /// silently drained to the L2.
+    #[test]
+    fn struck_cb_entry_is_detected_not_silently_drained(
+        n in 1u64..16,
+        victim in 0u64..16,
+        side in 0usize..2,
+        bit in 0u64..64,
+    ) {
+        let victim = victim % n;
+        let mut cb = PairedCb::new(CAP);
+        let mut m = mem();
+        // The vocal core commits its whole stream first, so every
+        // entry sits unmatched on side 0 when the strike lands.
+        for seq in 0..n {
+            cb.push(0, seq, 0x40 + seq, 10 + 3 * seq, &mut m);
+        }
+        let slot = if side == 0 { victim as usize } else { 0 };
+        let drained_before = cb.drained;
+        if side == 0 {
+            prop_assert!(
+                cb.corrupt_entry(0, slot, bit, 20),
+                "strike on an occupied slot must hit"
+            );
+        } else {
+            // Side 1 is empty pre-push: the strike lands between the
+            // mute core's own pushes instead.
+            prop_assert!(!cb.corrupt_entry(1, 0, bit, 20), "empty side masks");
+        }
+        for seq in 0..n {
+            cb.push(1, seq, 0x40 + seq, 12 + 5 * seq, &mut m);
+            if side == 1 && seq == victim {
+                // Strike the mute core's freshest entry. It may already
+                // be matched (drain scheduled but not complete) — the
+                // residency rule says it is still strikeable.
+                let occ = cb.occupancy(1, 12 + 5 * seq);
+                if occ > 0 {
+                    prop_assert!(cb.corrupt_fingerprint(1, occ - 1, bit, 12 + 5 * seq));
+                }
+            }
+        }
+        if side == 0 {
+            // The victim pair miscompared instead of draining.
+            prop_assert!(cb.fingerprint_mismatches >= 1, "flip must be caught");
+            prop_assert_eq!(cb.drained, drained_before + n - 1);
+            prop_assert!(
+                !cb.is_empty(100_000_000),
+                "corrupted pair must pend for recovery, not vanish"
+            );
+        } else {
+            // A post-match fingerprint flip never un-drains the pair,
+            // and a pre-match flip is caught; either way nothing
+            // corrupted reaches the L2 silently (drains only ever
+            // carry compare-verified lines).
+            prop_assert!(cb.drained <= n);
+            prop_assert!(cb.fingerprint_mismatches + cb.drained >= n);
+        }
+        // Recovery from the clean side still converges (§III step 5).
+        cb.overwrite_from(side ^ 1, 1_000_000, &mut m);
+        prop_assert_eq!(cb.drained, n, "recovery drains the clean stream");
+        prop_assert!(cb.is_empty(100_000_000));
+    }
+
+    /// TMR equivalent: a struck replica in a `GroupCb(cap, 3)` is never
+    /// outvoted *silently* — the group completion miscompares, counts a
+    /// fingerprint mismatch, and withholds the drain.
+    #[test]
+    fn struck_group_replica_is_detected(
+        n in 1u64..16,
+        victim in 0u64..16,
+        replica in 0usize..3,
+        bit in 0u64..64,
+    ) {
+        let victim = victim % n;
+        let mut cb = GroupCb::new(CAP, 3);
+        let mut m = mem();
+        // Replica `replica` commits first and takes the strike while
+        // its entries are still unmatched.
+        for seq in 0..n {
+            cb.push(replica, seq, 0x40 + seq, 10 + 3 * seq, &mut m);
+        }
+        prop_assert!(cb.corrupt_entry(replica, victim as usize, bit, 20));
+        for other in (0..3usize).filter(|&c| c != replica) {
+            for seq in 0..n {
+                cb.push(other, seq, 0x40 + seq, 15 + 7 * seq, &mut m);
+            }
+        }
+        prop_assert_eq!(cb.drained, n - 1, "victim group must not drain");
+        prop_assert!(cb.fingerprint_mismatches >= 1, "flip must miscompare");
     }
 
     /// Same recovery property under maximal drift: the good core ran

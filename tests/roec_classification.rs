@@ -1,0 +1,162 @@
+//! Differential tests pinning the ROEC 2.0 outcome classifier
+//! (`unsync_fault::roec::classify`) on hand-constructed journals —
+//! known answer per label — and golden-locking the per-structure
+//! vulnerability table for one fixed smoke grid, so any change to
+//! strike planning, liveness probes, delivery order, or classification
+//! rules shows up as a reviewable diff here.
+
+use unsync_bench::roec_uncore::{run_campaign, RoecUncoreConfig, SCHEMES};
+use unsync_bench::Runner;
+use unsync_fault::roec::{classify, RoecEvent, RoecEventKind, StrikeOutcome};
+
+fn ev(kind: RoecEventKind, cycle: u64) -> RoecEvent {
+    RoecEvent::at(kind, cycle)
+}
+
+#[test]
+fn empty_journal_with_clean_memory_is_masked() {
+    assert_eq!(classify(&[], true), StrikeOutcome::Masked);
+    // A benign (dead-state) delivery event changes nothing.
+    assert_eq!(
+        classify(&[ev(RoecEventKind::BenignFault, 10)], true),
+        StrikeOutcome::Masked
+    );
+    // Unrelated journal noise never counts as detection.
+    assert_eq!(
+        classify(
+            &[ev(RoecEventKind::Other, 3), ev(RoecEventKind::Other, 9)],
+            true
+        ),
+        StrikeOutcome::Masked
+    );
+}
+
+#[test]
+fn silent_corruption_with_diverged_memory_is_sdc() {
+    assert_eq!(
+        classify(&[ev(RoecEventKind::SilentFault, 42)], false),
+        StrikeOutcome::Sdc
+    );
+    // Memory divergence alone — even with an empty journal — is SDC:
+    // nothing fired, the image is wrong.
+    assert_eq!(classify(&[], false), StrikeOutcome::Sdc);
+}
+
+#[test]
+fn detection_plus_clean_memory_is_detected_recovered() {
+    // A full recovery episode.
+    let episode = [
+        ev(RoecEventKind::Detection, 100),
+        ev(RoecEventKind::RecoveryStart, 104),
+        ev(RoecEventKind::RecoveryEnd, 940),
+    ];
+    assert_eq!(classify(&episode, true), StrikeOutcome::DetectedRecovered);
+    // In-place correction (SECDED single, DMR refetch) counts as
+    // detected even without a recovery span.
+    let corrected = [
+        ev(RoecEventKind::Detection, 100),
+        ev(RoecEventKind::CorrectedInPlace, 100),
+    ];
+    assert_eq!(classify(&corrected, true), StrikeOutcome::DetectedRecovered);
+    // A TMR outvote likewise.
+    assert_eq!(
+        classify(&[ev(RoecEventKind::Corrected, 7)], true),
+        StrikeOutcome::DetectedRecovered
+    );
+}
+
+#[test]
+fn detection_without_correctness_is_detected_unrecoverable() {
+    // Detected, but the machine declared the error unrecoverable —
+    // even when memory happens to match (DUE by declaration).
+    let due = [
+        ev(RoecEventKind::Detection, 50),
+        ev(RoecEventKind::Unrecoverable, 50),
+    ];
+    assert_eq!(classify(&due, true), StrikeOutcome::DetectedUnrecoverable);
+    // Detected and memory diverged (DED without correction).
+    assert_eq!(
+        classify(&[ev(RoecEventKind::Detection, 50)], false),
+        StrikeOutcome::DetectedUnrecoverable
+    );
+}
+
+#[test]
+fn detection_beats_silent_fault_in_mixed_journals() {
+    // Parity caught the first flip, a second flip slipped through, the
+    // image ended clean: the run detected *something* and ended
+    // correct — detected-recovered, not masked.
+    let mixed = [
+        ev(RoecEventKind::SilentFault, 10),
+        ev(RoecEventKind::Detection, 20),
+        ev(RoecEventKind::RecoveryStart, 24),
+        ev(RoecEventKind::RecoveryEnd, 800),
+    ];
+    assert_eq!(classify(&mixed, true), StrikeOutcome::DetectedRecovered);
+}
+
+/// Golden lock: the complete per-cell outcome sequence of the
+/// `smoke(42)` grid (2 strikes per cell — strike 0 uniform, strike 1
+/// liveness-conditioned). Regenerate by printing
+/// `run_campaign(&RoecUncoreConfig::smoke(42), ..)` if an intentional
+/// model change lands; any *unintentional* drift in strike planning,
+/// occupancy probes, or classification fails here first.
+#[test]
+fn smoke_grid_42_vulnerability_table_is_locked() {
+    const EXPECTED: [(&str, &str, [&str; 2]); 18] = [
+        (
+            "l2_data",
+            "unsync_pair",
+            ["masked", "detected_unrecoverable"],
+        ),
+        ("l2_data", "tmr_vote", ["masked", "sdc"]),
+        ("l2_data", "secded_only", ["masked", "detected_recovered"]),
+        (
+            "l2_tag",
+            "unsync_pair",
+            ["masked", "detected_unrecoverable"],
+        ),
+        ("l2_tag", "tmr_vote", ["masked", "sdc"]),
+        ("l2_tag", "secded_only", ["masked", "detected_recovered"]),
+        (
+            "mshr_entry",
+            "unsync_pair",
+            ["masked", "detected_recovered"],
+        ),
+        ("mshr_entry", "tmr_vote", ["masked", "sdc"]),
+        ("mshr_entry", "secded_only", ["masked", "sdc"]),
+        (
+            "bank_arbiter",
+            "unsync_pair",
+            ["masked", "detected_recovered"],
+        ),
+        ("bank_arbiter", "tmr_vote", ["masked", "sdc"]),
+        ("bank_arbiter", "secded_only", ["sdc", "sdc"]),
+        ("cb_data", "unsync_pair", ["masked", "detected_recovered"]),
+        ("cb_data", "tmr_vote", ["sdc", "sdc"]),
+        ("cb_data", "secded_only", ["sdc", "sdc"]),
+        ("cb_tag", "unsync_pair", ["masked", "detected_recovered"]),
+        ("cb_tag", "tmr_vote", ["sdc", "sdc"]),
+        ("cb_tag", "secded_only", ["sdc", "sdc"]),
+    ];
+    let cfg = RoecUncoreConfig::smoke(42);
+    assert_eq!(cfg.strikes_per_cell, 2, "lock assumes the smoke grid shape");
+    let records = run_campaign(&cfg, &Runner::new(2));
+    assert_eq!(records.len(), EXPECTED.len() * 2);
+    for (structure, scheme, outcomes) in EXPECTED {
+        assert!(SCHEMES.contains(&scheme));
+        for (strike, want) in outcomes.iter().enumerate() {
+            let got = records
+                .iter()
+                .find(|r| {
+                    r.structure == structure && r.scheme == scheme && r.strike == strike as u64
+                })
+                .unwrap_or_else(|| panic!("missing cell {structure}/{scheme}/{strike}"));
+            assert_eq!(
+                got.outcome.label(),
+                *want,
+                "outcome drifted at {structure}/{scheme} strike {strike}"
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests over cycle-scheduled uncore fault injection
+//! (`RedundantDriver::run_system_with_uncore_faults`) and the ROEC 2.0
+//! campaign built on it:
+//!
+//! * a zero-strike campaign run is byte-identical to `run_system` —
+//!   the injection path costs nothing when unused;
+//! * every classified strike carries exactly one of the four outcome
+//!   labels, and the label round-trips through its string form;
+//! * `masked` strikes left the committed memory image byte-identical
+//!   to the golden run, `sdc` strikes provably diverged;
+//! * the campaign is bit-identical across worker counts and reruns;
+//! * mixed core + uncore schedules deliver in cycle order (the
+//!   uncore-before-core contract is a `debug_assert` in the driver, so
+//!   this binary exercising it under `cargo test` is the enforcement).
+
+use unsync_bench::roec_uncore::{run_campaign, RoecUncoreConfig};
+use unsync_bench::Runner;
+use unsync_core::{UnsyncConfig, UnsyncPolicy};
+use unsync_exec::RedundantDriver;
+use unsync_fault::roec::{StrikeOutcome, ALL_OUTCOMES};
+use unsync_fault::uncore::{UncoreStrike, UncoreTarget};
+use unsync_fault::{FaultKind, FaultSite, FaultTarget, PairFault};
+use unsync_isa::TraceProgram;
+use unsync_mem::WritePolicy;
+use unsync_sim::CoreConfig;
+use unsync_workloads::{Benchmark, WorkloadGen};
+
+fn traces(lanes: usize, insts: u64, seed: u64) -> Vec<TraceProgram> {
+    (0..lanes)
+        .map(|p| WorkloadGen::new(Benchmark::Gzip, insts, seed + p as u64).collect_trace())
+        .collect()
+}
+
+fn policies(lanes: usize) -> Vec<UnsyncPolicy> {
+    (0..lanes)
+        .map(|p| {
+            UnsyncPolicy::new(
+                "uncore_faults_test",
+                UnsyncConfig::paper_baseline(),
+                WritePolicy::WriteThrough,
+                2 * p,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn zero_strike_run_is_byte_identical_to_run_system() {
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    let ts = traces(3, 500, 7);
+    let (plain, plain_mem) = driver.run_system(&mut policies(3), &ts);
+    let (with, with_mem) = driver.run_system_with_uncore_faults(&mut policies(3), &ts, &[], &[]);
+    assert_eq!(plain.len(), with.len());
+    for (p, (a, b)) in plain.iter().zip(with.iter()).enumerate() {
+        assert_eq!(a.out, b.out, "lane {p} outcome counters");
+        assert_eq!(a.events, b.events, "lane {p} event stream");
+        assert_eq!(a.memory, b.memory, "lane {p} memory image");
+    }
+    assert_eq!(
+        plain_mem.l2_stats().miss_rate(),
+        with_mem.l2_stats().miss_rate(),
+        "shared L2 statistics"
+    );
+    // The fault path *does* force the journal on — that is its one
+    // observable difference, and it is excluded from equality above.
+    assert!(with[0].events.journal().is_some());
+}
+
+#[test]
+fn every_strike_gets_exactly_one_of_the_four_labels() {
+    let cfg = RoecUncoreConfig::smoke(23);
+    let records = run_campaign(&cfg, &Runner::new(2));
+    assert!(!records.is_empty());
+    for r in &records {
+        assert!(
+            ALL_OUTCOMES.contains(&r.outcome),
+            "unknown outcome {:?}",
+            r.outcome
+        );
+        assert_eq!(
+            StrikeOutcome::from_label(r.outcome.label()),
+            Some(r.outcome),
+            "label must round-trip"
+        );
+    }
+}
+
+#[test]
+fn masked_means_clean_memory_and_sdc_means_diverged() {
+    let cfg = RoecUncoreConfig::smoke(5);
+    for r in run_campaign(&cfg, &Runner::new(2)) {
+        match r.outcome {
+            StrikeOutcome::Masked => {
+                assert!(r.memory_matches, "masked strike corrupted memory: {r:?}")
+            }
+            StrikeOutcome::Sdc => {
+                assert!(!r.memory_matches, "SDC strike left memory clean: {r:?}")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn campaign_is_deterministic_across_worker_counts_and_reruns() {
+    let cfg = RoecUncoreConfig::smoke(11);
+    let one = run_campaign(&cfg, &Runner::new(1));
+    let two = run_campaign(&cfg, &Runner::new(2));
+    let eight = run_campaign(&cfg, &Runner::new(8));
+    assert_eq!(one, two, "1 vs 2 workers");
+    assert_eq!(one, eight, "1 vs 8 workers");
+    let rerun = run_campaign(&cfg, &Runner::new(2));
+    assert_eq!(two, rerun, "same-seed rerun");
+}
+
+/// Mixed schedule: an uncore strike *and* a core fault on the same
+/// lane. The driver's delivery contract (uncore strikes drain at the
+/// tick boundary before the instruction; delivery cycles advance
+/// monotonically) is pinned by `debug_assert`s in `LaneRunner::tick`,
+/// so this test running under `cargo test` (debug assertions on) is
+/// what enforces it. The core fault must still be detected and
+/// recovered exactly as in a pure core-fault campaign.
+#[test]
+fn mixed_core_and_uncore_schedules_deliver_in_cycle_order() {
+    let driver = RedundantDriver::new(CoreConfig::table1());
+    let ts = traces(1, 600, 3);
+    let strike = UncoreStrike {
+        cycle: 40,
+        lane: 0,
+        site: unsync_fault::uncore::UncoreSite::plan_in(UncoreTarget::L2Data, 9, 1),
+        kind: FaultKind::Single,
+        directed: false,
+    };
+    let fault = PairFault {
+        at: 300,
+        core: 0,
+        site: FaultSite {
+            target: FaultTarget::RegisterFile,
+            bit_offset: 17,
+        },
+        kind: FaultKind::Single,
+    };
+    let (results, _) = driver.run_system_with_uncore_faults(
+        &mut policies(1),
+        &ts,
+        &[vec![fault]],
+        &[vec![strike]],
+    );
+    let r = &results[0];
+    assert_eq!(r.out.recoveries, 1, "core fault must still recover");
+    assert!(r.out.detections >= 1, "core fault must still be detected");
+    assert!(
+        r.out.correct(),
+        "mixed schedule must stay recoverable: {:?}",
+        r.out
+    );
+    // The journal records both deliveries, cycle-stamped.
+    let journal = r.events.journal().expect("journal forced on");
+    assert!(journal.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+}
