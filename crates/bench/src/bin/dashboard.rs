@@ -13,7 +13,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use unsync_bench::dashboard::{
-    diff_dirs, load_dir, render_scheme_table, roec_table, scheme_rows, scheme_stats, DiffOptions,
+    campaign_rows, diff_dirs, load_dir, render_campaign_table, render_scheme_table, roec_table,
+    scheme_rows, scheme_stats, DiffOptions,
 };
 use unsync_bench::roec_uncore::render_vulnerability_table;
 use unsync_bench::runlog;
@@ -64,6 +65,12 @@ fn main() -> ExitCode {
             roec.total()
         );
         print!("{}", render_vulnerability_table(&roec));
+    }
+    let campaigns = campaign_rows(&logs);
+    if !campaigns.is_empty() {
+        println!();
+        println!("Campaign engine runs ({} logs)", campaigns.len());
+        print!("{}", render_campaign_table(&campaigns));
     }
     ExitCode::SUCCESS
 }

@@ -4,8 +4,10 @@
 //! word store, the forwarding-heavy pending-store tracking exercised by
 //! rollback schemes, full pair runs, the multi-lane `run_system`
 //! scheduler at 2/8/16 lanes, the discrete-event queue itself (bare
-//! components and a contended-L2 system run), and event/metric
-//! publication — and writes
+//! components and a contended-L2 system run), event/metric
+//! publication, and the campaign engine's dispatch path (grid
+//! expansion, per-job cost with a cached golden, and the bounded
+//! writer-queue cycle) — and writes
 //! the per-bench statistics to `BENCH_driver.json` so successive PRs
 //! have a machine-readable perf trajectory (see EXPERIMENTS.md,
 //! "Driver microbenchmarks").
@@ -184,6 +186,60 @@ fn event_benches(results: &mut Vec<BenchResult>) {
     results.extend(g.into_results());
 }
 
+fn campaign_benches(results: &mut Vec<BenchResult>) {
+    use unsync_bench::campaign::{run_job, BoundedQueue};
+    use unsync_bench::CampaignGrid;
+    use unsync_fault::uncore::StrikePlan;
+    use unsync_mem::L2ContentionConfig;
+    use unsync_workloads::WorkloadSpec;
+
+    let mut g = Bench::group("campaign");
+    let grid = CampaignGrid {
+        name: "microbench_campaign".into(),
+        inst_count: 400,
+        seeds: vec![11],
+        workloads: vec![WorkloadSpec::parse("gzip").expect("static workload")],
+        schemes: vec!["unsync_pair", "tmr_vote", "secded_only"],
+        strikes: Some(StrikePlan::all_uncore(8, 800)),
+        contention: Some(L2ContentionConfig::many_core()),
+    };
+    g.bench("grid/expand_144_jobs", || bb(grid.expand()).len());
+    // Per-job dispatch: one strike simulation plus record rendering,
+    // with the golden image memoized (the engine's steady state).
+    let jobs = grid.expand();
+    g.bench("dispatch/strike_job_cached_golden", || {
+        bb(run_job(&grid, jobs[0], true)).len()
+    });
+    let compare = CampaignGrid {
+        schemes: vec!["unsync_pair"],
+        strikes: None,
+        contention: None,
+        ..grid.clone()
+    };
+    let cjobs = compare.expand();
+    g.bench("dispatch/compare_job", || {
+        bb(run_job(&compare, cjobs[0], true)).len()
+    });
+    // JSONL stream throughput: a full push/drain cycle of 64 record
+    // chunks through the bounded writer queue (single-threaded, so the
+    // cycle never blocks — this is the lock/notify overhead alone).
+    g.bench("stream/queue_cycle_64_chunks", || {
+        let q: BoundedQueue<String> = BoundedQueue::new(64);
+        for i in 0..64u64 {
+            q.push(format!("{{\"kind\":\"record\",\"row\":{i}}}"));
+        }
+        q.close();
+        let mut out = Vec::new();
+        let mut n = 0usize;
+        while q.drain_into(&mut out, 32) {
+            n += out.len();
+            out.clear();
+        }
+        bb(n)
+    });
+    results.extend(g.into_results());
+}
+
 fn write_json(results: &[BenchResult]) {
     let rows: Vec<Json> = results
         .iter()
@@ -226,6 +282,7 @@ fn main() {
     sched_benches(&mut results);
     workload_benches(&mut results);
     event_benches(&mut results);
+    campaign_benches(&mut results);
     assert!(
         !results.is_empty(),
         "UNSYNC_BENCH_FILTER removed every bench"

@@ -1,0 +1,1058 @@
+//! The batched campaign engine (ROADMAP: "fault campaigns as a
+//! service").
+//!
+//! ROEC-style vulnerability numbers only become statistically
+//! meaningful at thousands of strikes per structure, and replay-style
+//! detection studies run the same workload grid hundreds of times
+//! over — so the grid loop, not the simulator, is what has to scale.
+//! This module promotes the deterministic parallel [`crate::Runner`]
+//! pattern
+//! into a streaming pipeline:
+//!
+//! * A [`CampaignGrid`] names a full experiment request — scheme ×
+//!   workload source × seed × optional [`StrikePlan`] — and
+//!   [`CampaignGrid::expand`] flattens it into [`CampaignJob`]s in a
+//!   fixed grid order. Each job derives its private SplitMix64 stream
+//!   from [`job_seed_named`], so results are a pure function of the
+//!   job alone: bit-identical across worker counts, reruns, and
+//!   resumes.
+//! * [`CampaignEngine::run_streaming`] shards pending jobs round-robin
+//!   across per-worker deques (idle workers steal from the back of a
+//!   victim's deque — `campaign.steals`), and finished records flow in
+//!   small newline-joined chunks through a [`BoundedQueue`] to a
+//!   dedicated writer thread that appends JSONL incrementally. The
+//!   queue exerts backpressure: a full queue blocks the producing
+//!   worker
+//!   (`campaign.backpressure_stalls`) instead of buffering unboundedly
+//!   behind a barrier, and its occupancy is observable as the
+//!   `campaign.queue_depth` gauge / `campaign.queue_depth_samples`
+//!   histogram.
+//! * Because records hit disk as they complete, a killed run leaves a
+//!   valid prefix. On restart the engine replays the partial log,
+//!   validates the header against the grid, drops torn or meta lines,
+//!   and skips completed job ids — a resumed run's normalized output
+//!   is byte-identical to an uninterrupted one.
+//!
+//! Strike jobs reuse the memoized golden image
+//! ([`golden_memory_source`]) both for SDC classification *and* —
+//! unlike the sequential reference path — inside the driver via
+//! `run_campaign_lane`, eliminating the per-job golden re-execution
+//! that dominates `Runner::map`-style grids. Records are unaffected: a
+//! trace's golden image is unique.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use unsync_core::{UnsyncConfig, UnsyncPair};
+use unsync_exec::{FlexConfig, FlexPair, RedundantDriver, SecdedOnlyCore, TmrTriple};
+use unsync_fault::uncore::{StrikePlan, UncoreTarget};
+use unsync_isa::exec::splitmix64;
+use unsync_isa::TraceProgram;
+use unsync_mem::{L2ContentionConfig, WritePolicy};
+use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
+use unsync_sim::{metrics, CoreConfig};
+use unsync_workloads::{WorkloadSource, WorkloadSpec};
+
+use crate::experiments::ExperimentConfig;
+use crate::roec_uncore::{classify_strike_result, run_scheme_with_strikes, strike_salt};
+use crate::runlog::{metrics_snapshot_json, Json};
+use crate::runner::{baseline_cycles_source, golden_memory_source, job_seed_named};
+
+/// A grid of experiment requests: the cartesian product of workloads ×
+/// seeds × schemes, each cell either one comparator run (`strikes:
+/// None`) or one run per strike-plan cell (`strikes: Some`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignGrid {
+    /// Experiment name: the JSONL log is `<name>.jsonl`.
+    pub name: String,
+    /// Instructions per trace.
+    pub inst_count: u64,
+    /// Trace seeds swept.
+    pub seeds: Vec<u64>,
+    /// Workload sources swept (synthetic or `kernel:` backends).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Scheme names swept (see `run_compare_job` /
+    /// [`crate::roec_uncore::SCHEMES`] for the two vocabularies).
+    pub schemes: Vec<&'static str>,
+    /// When set, every (workload, seed, scheme) cell expands into one
+    /// job per strike of the plan instead of one comparator job.
+    pub strikes: Option<StrikePlan>,
+    /// Shared-L2 contention model for strike runs (bank arbiters only
+    /// exist — and can only be struck live — when this is on).
+    pub contention: Option<L2ContentionConfig>,
+}
+
+impl CampaignGrid {
+    /// Total number of jobs the grid expands into.
+    pub fn len(&self) -> usize {
+        let per_cell = self.strikes.as_ref().map_or(1, StrikePlan::len);
+        self.workloads.len() * self.seeds.len() * self.schemes.len() * per_cell
+    }
+
+    /// Whether the grid expands into no jobs at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens the grid into jobs in fixed grid order —
+    /// workload-major, then seed, then scheme, then strike cell — with
+    /// ids numbering that order. Job ids are the `row` keys of the
+    /// JSONL log, so the order is part of the on-disk contract.
+    pub fn expand(&self) -> Vec<CampaignJob> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &workload in &self.workloads {
+            for &seed in &self.seeds {
+                for &scheme in &self.schemes {
+                    match &self.strikes {
+                        None => jobs.push(CampaignJob {
+                            id: jobs.len() as u64,
+                            workload,
+                            inst_count: self.inst_count,
+                            seed,
+                            scheme,
+                            kind: JobKind::Compare,
+                        }),
+                        Some(plan) => {
+                            for (target, index) in plan.cells() {
+                                jobs.push(CampaignJob {
+                                    id: jobs.len() as u64,
+                                    workload,
+                                    inst_count: self.inst_count,
+                                    seed,
+                                    scheme,
+                                    kind: JobKind::Strike { target, index },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The log's header line: the grid spec a partial log is validated
+    /// against on resume. A pure function of the grid, so two runs of
+    /// the same grid — interrupted or not — agree byte-for-byte.
+    pub fn header_line(&self) -> String {
+        let strikes = match &self.strikes {
+            None => Json::Null,
+            Some(plan) => Json::obj()
+                .field(
+                    "targets",
+                    Json::Arr(
+                        plan.targets
+                            .iter()
+                            .map(|t| Json::Str(t.label().to_string()))
+                            .collect(),
+                    ),
+                )
+                .field("strikes_per_cell", plan.strikes_per_cell)
+                .field("horizon", plan.horizon)
+                .field("alternate_directed", u64::from(plan.alternate_directed)),
+        };
+        let config = Json::obj()
+            .field("inst_count", self.inst_count)
+            .field(
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::U64(s)).collect()),
+            )
+            .field(
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| Json::Str(w.name().to_string()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "schemes",
+                Json::Arr(
+                    self.schemes
+                        .iter()
+                        .map(|s| Json::Str((*s).to_string()))
+                        .collect(),
+                ),
+            )
+            .field("strikes", strikes)
+            .field("contention", u64::from(self.contention.is_some()));
+        Json::obj()
+            .field("kind", "header")
+            .field("experiment", self.name.as_str())
+            .field("schema", 1u64)
+            .field("config", config)
+            .render()
+    }
+}
+
+/// What one job runs on top of its workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One fault-free comparator run: cycles vs. the memoized baseline.
+    Compare,
+    /// One strike of the grid's [`StrikePlan`]: inject, classify.
+    Strike {
+        /// The struck uncore structure.
+        target: UncoreTarget,
+        /// Strike index within the (structure, scheme) cell.
+        index: u64,
+    },
+}
+
+/// One expanded unit of campaign work — a pure function of its fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignJob {
+    /// Grid-order index; doubles as the record's `row` key.
+    pub id: u64,
+    /// The workload backend.
+    pub workload: WorkloadSpec,
+    /// Instructions in the trace.
+    pub inst_count: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Compare or strike.
+    pub kind: JobKind,
+}
+
+impl CampaignJob {
+    fn experiment(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            inst_count: self.inst_count,
+            seed: self.seed,
+        }
+    }
+
+    /// The job's salt into [`job_seed_named`]. Strike jobs reuse the
+    /// `roec` grid's [`strike_salt`] chain so campaign strikes over
+    /// the roec workload/seed reproduce `roec` placements
+    /// byte-for-byte; compare jobs hash the scheme under a distinct
+    /// prefix so the two kinds can never collide.
+    pub fn salt(&self) -> u64 {
+        match self.kind {
+            JobKind::Strike { target, index } => strike_salt(target, self.scheme, index),
+            JobKind::Compare => {
+                let mut h = 0xc0f_f33_u64;
+                for b in self.scheme.bytes() {
+                    h = splitmix64(h ^ u64::from(b));
+                }
+                splitmix64(h)
+            }
+        }
+    }
+
+    /// The job's private deterministic stream seed.
+    pub fn stream_seed(&self) -> u64 {
+        job_seed_named(self.experiment(), self.workload.name(), self.salt())
+    }
+}
+
+/// A per-run memo of generated traces, keyed by `(workload name,
+/// seed)` — every job of a campaign cell shares one trace, and
+/// generating it is a measurable fraction of a short job, so the
+/// engine builds the memo up front and workers borrow from it. The
+/// reference paths ([`run_collected`], [`run_mapped`]) pass `None` and
+/// regenerate per job, as the pre-engine campaigns did.
+type TraceMemo = HashMap<(&'static str, u64), TraceProgram>;
+
+fn trace_memo(grid: &CampaignGrid, jobs: &[CampaignJob]) -> TraceMemo {
+    let mut memo = TraceMemo::new();
+    for job in jobs {
+        memo.entry((job.workload.name(), job.seed))
+            .or_insert_with(|| job.workload.source(grid.inst_count, job.seed).trace());
+    }
+    memo
+}
+
+/// Runs one job and renders its JSONL record line (framed with `row` =
+/// job id, so normalized logs diff independently of completion order).
+///
+/// `reuse_cached_golden` feeds the memoized golden image into the
+/// driver so strike jobs skip the per-job golden re-execution; `false`
+/// preserves the sequential reference cost model
+/// ([`run_collected`]). Records are byte-identical either way.
+pub fn run_job(grid: &CampaignGrid, job: CampaignJob, reuse_cached_golden: bool) -> String {
+    run_job_inner(grid, job, reuse_cached_golden, None)
+}
+
+fn run_job_inner(
+    grid: &CampaignGrid,
+    job: CampaignJob,
+    reuse_cached_golden: bool,
+    memo: Option<&TraceMemo>,
+) -> String {
+    let memoized = memo.and_then(|m| m.get(&(job.workload.name(), job.seed)));
+    let generated;
+    let trace = match memoized {
+        Some(t) => t,
+        None => {
+            generated = job.workload.source(job.inst_count, job.seed).trace();
+            &generated
+        }
+    };
+    let fields = match job.kind {
+        JobKind::Compare => run_compare_job(job, trace),
+        JobKind::Strike { target, index } => {
+            run_strike_job(grid, job, trace, target, index, reuse_cached_golden)
+        }
+    };
+    let mut framed = Json::obj().field("kind", "record").field("row", job.id);
+    if let (Json::Obj(dst), Json::Obj(pairs)) = (&mut framed, fields) {
+        dst.extend(pairs);
+    }
+    metrics::global().counter("campaign.jobs_completed").inc();
+    framed.render()
+}
+
+/// One fault-free comparator run: `scheme` cycles against the memoized
+/// unprotected baseline. The scheme vocabulary matches the
+/// `comparators` experiment.
+fn run_compare_job(job: CampaignJob, t: &TraceProgram) -> Json {
+    let source = job.workload.source(job.inst_count, job.seed);
+    let base = baseline_cycles_source(&source);
+    let cycles = match job.scheme {
+        "lockstep" => LockstepPair::new(CoreConfig::table1()).run(t).cycles,
+        "reunion" => {
+            ReunionPair::new(CoreConfig::table1(), ReunionConfig::paper_baseline())
+                .run(t, &[])
+                .cycles
+        }
+        "checkpoint" => {
+            let mut s = t.clone();
+            let mut hooks = CheckpointHooks::new(CheckpointConfig::default());
+            unsync_sim::run_stream(
+                CoreConfig::table1(),
+                &mut s,
+                &mut hooks,
+                WritePolicy::WriteThrough,
+            )
+            .core
+            .last_commit_cycle
+        }
+        "unsync_pair" => {
+            UnsyncPair::new(CoreConfig::table1(), UnsyncConfig::paper_baseline())
+                .run(t, &[])
+                .cycles
+        }
+        "tmr_vote" => TmrTriple::new(CoreConfig::table1()).run(t, &[]).cycles,
+        "flex" => {
+            FlexPair::new(CoreConfig::table1(), FlexConfig::paper_baseline())
+                .run(t, &[])
+                .cycles
+        }
+        "secded_only" => SecdedOnlyCore::new(CoreConfig::table1()).run(t, &[]).cycles,
+        other => panic!("unknown comparator scheme {other}"),
+    };
+    Json::obj()
+        .field("workload", job.workload.name())
+        .field("inst_count", job.inst_count)
+        .field("seed", job.seed)
+        .field("scheme", job.scheme)
+        .field("job", "compare")
+        .field("cycles", cycles)
+        .field("baseline_cycles", base)
+        .field("overhead", cycles as f64 / base as f64 - 1.0)
+}
+
+/// One strike of the grid's plan: inject, journal, classify — the same
+/// record fields as the `roec_uncore` campaign plus the grid axes.
+fn run_strike_job(
+    grid: &CampaignGrid,
+    job: CampaignJob,
+    trace: &TraceProgram,
+    target: UncoreTarget,
+    index: u64,
+    reuse_cached_golden: bool,
+) -> Json {
+    let plan = grid
+        .strikes
+        .as_ref()
+        .expect("strike job implies a strike plan");
+    let strike = plan.strike(target, index, job.stream_seed(), 0);
+    let source = job.workload.source(job.inst_count, job.seed);
+    let golden = golden_memory_source(&source);
+    let contention = grid
+        .contention
+        .unwrap_or_else(L2ContentionConfig::many_core);
+    let driver = RedundantDriver::new(CoreConfig::table1()).with_l2_contention(contention);
+    let supplied = reuse_cached_golden.then_some(&*golden);
+    let result = run_scheme_with_strikes(&driver, job.scheme, trace, vec![strike], supplied);
+    let (outcome, memory_matches) = classify_strike_result(&result, &golden);
+    Json::obj()
+        .field("workload", job.workload.name())
+        .field("inst_count", job.inst_count)
+        .field("seed", job.seed)
+        .field("scheme", job.scheme)
+        .field("job", "strike")
+        .field("structure", target.label())
+        .field("strike", index)
+        .field("cycle", strike.cycle)
+        .field("bit_offset", strike.site.bit_offset)
+        .field(
+            "fault_kind",
+            match strike.kind {
+                unsync_fault::FaultKind::Single => "single",
+                unsync_fault::FaultKind::AdjacentDouble => "double",
+            },
+        )
+        .field("directed", u64::from(strike.directed))
+        .field("outcome", outcome.label())
+        .field("detections", result.out.detections)
+        .field("recoveries", result.out.recoveries)
+        .field("memory_matches", u64::from(memory_matches))
+}
+
+/// A bounded MPSC channel built on `Mutex` + `Condvar` (no external
+/// crates): producers block while the queue is full — that stall is
+/// the backpressure, counted as `campaign.backpressure_stalls` — and
+/// the consumer blocks while it is empty. [`BoundedQueue::pop`]
+/// returns `None` once the queue is closed *and* drained.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    // Handles resolved once at construction: updates are lock-free
+    // atomics, never registry lookups on the hot path.
+    stalls: metrics::Counter,
+    depth: metrics::Gauge,
+    depth_samples: metrics::Histogram,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let m = metrics::global();
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            stalls: m.counter("campaign.backpressure_stalls"),
+            depth: m.gauge("campaign.queue_depth"),
+            depth_samples: m.histogram("campaign.queue_depth_samples", QUEUE_DEPTH_BOUNDS),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Each stall
+    /// episode increments `campaign.backpressure_stalls`; every push
+    /// samples the post-push depth into the `campaign.queue_depth`
+    /// gauge and `campaign.queue_depth_samples` histogram.
+    pub fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("campaign queue poisoned");
+        if state.items.len() >= self.capacity {
+            self.stalls.inc();
+            while state.items.len() >= self.capacity {
+                state = self.not_full.wait(state).expect("campaign queue poisoned");
+            }
+        }
+        let was_empty = state.items.is_empty();
+        state.items.push_back(item);
+        let depth = state.items.len() as f64;
+        self.depth.set(depth);
+        self.depth_samples.observe(depth);
+        drop(state);
+        // The consumer only ever waits on an empty queue, so a push
+        // onto a non-empty one has nobody to wake — skipping the
+        // notify keeps producers from pointlessly preempting the
+        // writer on small machines.
+        if was_empty {
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open but
+    /// empty; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("campaign queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                let was_full = state.items.len() + 1 >= self.capacity;
+                self.depth.set(state.items.len() as f64);
+                drop(state);
+                // Producers only wait while the queue is full.
+                if was_full {
+                    self.not_full.notify_one();
+                }
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("campaign queue poisoned");
+        }
+    }
+
+    /// Moves up to `max` items into `out` in one lock acquisition,
+    /// blocking while the queue is open but empty. Returns `false`
+    /// once closed and drained. The writer thread consumes through
+    /// this so one wakeup amortizes one file flush over a whole batch.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> bool {
+        let mut state = self.state.lock().expect("campaign queue poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let was_full = state.items.len() >= self.capacity;
+                while out.len() < max {
+                    let Some(item) = state.items.pop_front() else {
+                        break;
+                    };
+                    out.push(item);
+                }
+                self.depth.set(state.items.len() as f64);
+                drop(state);
+                if was_full {
+                    self.not_full.notify_all();
+                }
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self.not_empty.wait(state).expect("campaign queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers must be done; the consumer drains
+    /// what remains and then sees `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("campaign queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Histogram bounds for queue-depth samples (powers of two up to the
+/// default capacity).
+const QUEUE_DEPTH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Records the writer consumes — and amortizes one flush over — per
+/// queue wakeup.
+const WRITER_BATCH: usize = 32;
+
+/// Records a worker accumulates into one newline-joined chunk before
+/// pushing it through the queue. Chunking amortizes the queue lock and
+/// the consumer wakeup — on a single-CPU host each wakeup is a forced
+/// context switch out of the producing worker — without giving up
+/// bounded streaming: at most `queue_capacity × PRODUCER_BATCH`
+/// records are ever in flight.
+const PRODUCER_BATCH: usize = 8;
+
+/// What one [`CampaignEngine::run_streaming`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The JSONL log path.
+    pub path: PathBuf,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs in the full grid.
+    pub jobs_total: usize,
+    /// Jobs executed this call.
+    pub jobs_run: usize,
+    /// Jobs skipped because a resumed log already held their records.
+    pub jobs_skipped: usize,
+    /// Wall-clock milliseconds of the streaming run (expansion through
+    /// writer join, excluding the meta stamp).
+    pub wall_ms: u64,
+}
+
+impl CampaignReport {
+    /// Jobs per wall-clock second for the jobs actually executed.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_ms == 0 {
+            return self.jobs_run as f64 * 1000.0;
+        }
+        self.jobs_run as f64 * 1000.0 / self.wall_ms as f64
+    }
+}
+
+/// The streaming campaign engine: worker count and writer-queue bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignEngine {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded writer-queue capacity, in chunks of up to
+    /// `PRODUCER_BATCH` records each.
+    pub queue_capacity: usize,
+}
+
+impl CampaignEngine {
+    /// An engine with `workers` threads and the default 64-record
+    /// writer queue.
+    pub fn new(workers: usize) -> CampaignEngine {
+        CampaignEngine {
+            workers: workers.max(1),
+            queue_capacity: 64,
+        }
+    }
+
+    /// Runs `grid`, streaming records to `path` as JSONL, resuming
+    /// from a partial log at the same path if one exists. Returns the
+    /// report; errors are I/O or header-mismatch strings.
+    pub fn run_streaming(
+        &self,
+        grid: &CampaignGrid,
+        path: &Path,
+    ) -> Result<CampaignReport, String> {
+        let started = Instant::now();
+        let jobs = grid.expand();
+        let header = grid.header_line();
+        let completed = replay_partial_log(path, &header)?;
+        let pending: Vec<CampaignJob> = jobs
+            .iter()
+            .filter(|j| !completed.contains(&j.id))
+            .copied()
+            .collect();
+        let jobs_skipped = jobs.len() - pending.len();
+        let memo = trace_memo(grid, &pending);
+
+        // Round-robin shard pending jobs across per-worker deques.
+        let deques: Vec<Mutex<VecDeque<CampaignJob>>> = (0..self.workers)
+            .map(|w| {
+                Mutex::new(
+                    pending
+                        .iter()
+                        .skip(w)
+                        .step_by(self.workers)
+                        .copied()
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let queue: BoundedQueue<String> = BoundedQueue::new(self.queue_capacity);
+        let mut file = fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        let write_error: Mutex<Option<String>> = Mutex::new(None);
+
+        metrics::global()
+            .gauge("campaign.workers")
+            .set(self.workers as f64);
+        std::thread::scope(|outer| {
+            let writer = outer.spawn(|| {
+                let mut batch: Vec<String> = Vec::with_capacity(WRITER_BATCH);
+                while queue.drain_into(&mut batch, WRITER_BATCH) {
+                    let mut text = String::with_capacity(batch.iter().map(|l| l.len() + 1).sum());
+                    for line in batch.drain(..) {
+                        text.push_str(&line);
+                        text.push('\n');
+                    }
+                    let io = file.write_all(text.as_bytes()).and_then(|()| file.flush());
+                    if let Err(e) = io {
+                        *write_error.lock().expect("write error slot poisoned") =
+                            Some(format!("append {}: {e}", path.display()));
+                        break;
+                    }
+                }
+            });
+            std::thread::scope(|inner| {
+                for w in 0..self.workers {
+                    let deques = &deques;
+                    let queue = &queue;
+                    let memo = &memo;
+                    inner.spawn(move || {
+                        let m = metrics::global();
+                        let mut chunk = String::new();
+                        let mut chunk_len = 0usize;
+                        loop {
+                            // Own deque first (front), then steal from
+                            // the back of the first non-empty victim.
+                            let mut job = deques[w]
+                                .lock()
+                                .expect("campaign deque poisoned")
+                                .pop_front();
+                            if job.is_none() {
+                                for (v, victim) in deques.iter().enumerate() {
+                                    if v == w {
+                                        continue;
+                                    }
+                                    let stolen =
+                                        victim.lock().expect("campaign deque poisoned").pop_back();
+                                    if stolen.is_some() {
+                                        m.counter("campaign.steals").inc();
+                                        job = stolen;
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(job) = job else {
+                                if !chunk.is_empty() {
+                                    queue.push(std::mem::take(&mut chunk));
+                                }
+                                break;
+                            };
+                            if !chunk.is_empty() {
+                                chunk.push('\n');
+                            }
+                            chunk.push_str(&run_job_inner(grid, job, true, Some(memo)));
+                            chunk_len += 1;
+                            if chunk_len >= PRODUCER_BATCH {
+                                queue.push(std::mem::take(&mut chunk));
+                                chunk_len = 0;
+                            }
+                        }
+                    });
+                }
+            });
+            queue.close();
+            writer.join().expect("campaign writer panicked");
+        });
+        if let Some(e) = write_error
+            .lock()
+            .expect("write error slot poisoned")
+            .take()
+        {
+            return Err(e);
+        }
+
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let report = CampaignReport {
+            path: path.to_path_buf(),
+            workers: self.workers,
+            jobs_total: jobs.len(),
+            jobs_run: pending.len(),
+            jobs_skipped,
+            wall_ms,
+        };
+        let meta = Json::obj()
+            .field("kind", "meta")
+            .field("schema", 2u64)
+            .field("experiment", grid.name.as_str())
+            .field("workers", self.workers)
+            .field("wall_clock_ms", wall_ms)
+            .field("jobs", jobs.len() as u64)
+            .field("jobs_run", report.jobs_run as u64)
+            .field("jobs_skipped", jobs_skipped as u64)
+            .field("jobs_per_sec", report.jobs_per_sec())
+            .field("metrics", metrics_snapshot_json());
+        let mut line = meta.render();
+        line.push('\n');
+        fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .map_err(|e| format!("append meta {}: {e}", path.display()))?;
+        Ok(report)
+    }
+}
+
+/// Replays a partial run log at `path`: validates the header against
+/// the grid's, keeps parseable record lines (dropping the meta line
+/// and any torn trailing line), rewrites the file to that valid
+/// prefix, and returns the completed job ids. A missing file starts a
+/// fresh log containing only the header.
+fn replay_partial_log(path: &Path, header: &str) -> Result<HashSet<u64>, String> {
+    let mut completed = HashSet::new();
+    let mut kept: Vec<&str> = vec![header];
+    let existing = match fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    if let Some(text) = &existing {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(first) if first == header => {}
+            Some(_) => {
+                return Err(format!(
+                    "refusing to resume {}: header does not match this grid \
+                     (the grid changed, or the log belongs to another experiment)",
+                    path.display()
+                ));
+            }
+            None => {}
+        }
+        for line in lines {
+            let Ok(json) = Json::parse(line) else {
+                continue; // torn tail of a killed run
+            };
+            if json.get("kind").and_then(Json::as_str) != Some("record") {
+                continue; // stale meta line from a finished earlier run
+            }
+            let Some(row) = json.get("row").and_then(Json::as_u64) else {
+                continue;
+            };
+            if completed.insert(row) {
+                kept.push(line);
+            }
+        }
+    }
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let mut text = kept.join("\n");
+    text.push('\n');
+    fs::write(path, text).map_err(|e| format!("rewrite {}: {e}", path.display()))?;
+    Ok(completed)
+}
+
+/// The sequential reference path: runs the whole grid in grid order on
+/// the caller's thread — no sharded deques, no streaming, and no
+/// cached-golden reuse inside the driver (each strike job re-executes
+/// the golden run, as the pre-engine `Runner::map` campaigns did) —
+/// and returns the rendered record lines. `BENCH_campaign.json`
+/// baselines the engine against this.
+pub fn run_collected(grid: &CampaignGrid) -> Vec<String> {
+    let mut lines = vec![grid.header_line()];
+    for job in grid.expand() {
+        lines.push(run_job(grid, job, false));
+    }
+    lines
+}
+
+/// The pre-engine parallel path: the same grid through
+/// [`crate::Runner::map`]'s barrier-collected worker pool at the
+/// engine's
+/// worker count, with the pre-engine per-job cost model (trace
+/// regenerated and golden re-executed inside the driver for every
+/// job). This is what the roec-style campaigns paid before the
+/// streaming engine; `BENCH_campaign.json` reports it beside the
+/// engine at the same worker count.
+pub fn run_mapped(grid: &CampaignGrid, runner: &crate::runner::Runner) -> Vec<String> {
+    let jobs = grid.expand();
+    let mut lines = vec![grid.header_line()];
+    lines.extend(runner.map(&jobs, |job| run_job(grid, *job, false)));
+    lines
+}
+
+/// Normalizes JSONL text for byte comparison: the header line followed
+/// by record lines sorted by `row`, with meta and unparseable lines
+/// dropped. Streaming runs complete out of order and resumed runs
+/// interleave old and new records; normalized, both must equal the
+/// sequential reference exactly.
+pub fn normalized_lines(text: &str) -> Vec<String> {
+    let mut header = None;
+    let mut records: Vec<(u64, &str)> = Vec::new();
+    for line in text.lines() {
+        let Ok(json) = Json::parse(line) else {
+            continue;
+        };
+        match json.get("kind").and_then(Json::as_str) {
+            Some("header") if header.is_none() => header = Some(line),
+            Some("record") => {
+                if let Some(row) = json.get("row").and_then(Json::as_u64) {
+                    records.push((row, line));
+                }
+            }
+            _ => {}
+        }
+    }
+    records.sort_by_key(|&(row, _)| row);
+    header
+        .into_iter()
+        .chain(records.into_iter().map(|(_, line)| line))
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsync_workloads::Benchmark;
+
+    fn compare_grid() -> CampaignGrid {
+        CampaignGrid {
+            name: "campaign_test_compare".into(),
+            inst_count: 120,
+            seeds: vec![7, 8],
+            workloads: vec![
+                WorkloadSpec::Synthetic(Benchmark::Gzip),
+                WorkloadSpec::Synthetic(Benchmark::Mcf),
+            ],
+            schemes: vec!["lockstep", "unsync_pair"],
+            strikes: None,
+            contention: None,
+        }
+    }
+
+    fn strike_grid() -> CampaignGrid {
+        CampaignGrid {
+            name: "campaign_test_strike".into(),
+            inst_count: 120,
+            seeds: vec![17],
+            workloads: vec![WorkloadSpec::Synthetic(Benchmark::Gzip)],
+            schemes: vec!["unsync_pair", "secded_only"],
+            strikes: Some(StrikePlan::all_uncore(1, 240)),
+            contention: Some(L2ContentionConfig::many_core()),
+        }
+    }
+
+    #[test]
+    fn expand_orders_ids_and_counts_jobs() {
+        let grid = compare_grid();
+        let jobs = grid.expand();
+        assert_eq!(jobs.len(), grid.len());
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.id, i as u64);
+        }
+        assert_eq!(jobs[0].workload.name(), "gzip");
+        assert_eq!(jobs[0].seed, 7);
+        assert_eq!(jobs[0].scheme, "lockstep");
+        assert_eq!(jobs[1].scheme, "unsync_pair");
+        assert_eq!(jobs[2].seed, 8);
+        assert_eq!(jobs[4].workload.name(), "mcf");
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_the_grid() {
+        let mut grid = strike_grid();
+        grid.seeds = vec![17, 18];
+        let mut seen = std::collections::HashSet::new();
+        for job in grid.expand() {
+            assert!(
+                seen.insert(job.stream_seed()),
+                "duplicate stream seed for {job:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_queue_delivers_in_order_and_closes() {
+        let q: BoundedQueue<u64> = BoundedQueue::new(2);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        q.push(3);
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_blocks_until_pop() {
+        let q: BoundedQueue<u64> = BoundedQueue::new(1);
+        q.push(1);
+        std::thread::scope(|s| {
+            s.spawn(|| q.push(2)); // must block until the pop below
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+        });
+    }
+
+    #[test]
+    fn streaming_matches_sequential_reference() {
+        let grid = compare_grid();
+        let dir = std::env::temp_dir().join("unsync_campaign_mod_test");
+        let path = dir.join("compare.jsonl.partial");
+        fs::create_dir_all(&dir).unwrap();
+        let _ = fs::remove_file(&path);
+        let report = CampaignEngine::new(2).run_streaming(&grid, &path).unwrap();
+        assert_eq!(report.jobs_run, grid.len());
+        assert_eq!(report.jobs_skipped, 0);
+        let streamed = normalized_lines(&fs::read_to_string(&path).unwrap());
+        assert_eq!(streamed, run_collected(&grid));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs_and_stays_byte_identical() {
+        let grid = strike_grid();
+        let dir = std::env::temp_dir().join("unsync_campaign_mod_test");
+        let path = dir.join("strike.jsonl.partial");
+        fs::create_dir_all(&dir).unwrap();
+        let _ = fs::remove_file(&path);
+        let full = CampaignEngine::new(1).run_streaming(&grid, &path).unwrap();
+        assert_eq!(full.jobs_run, grid.len());
+        let complete = fs::read_to_string(&path).unwrap();
+
+        // Kill mid-run: keep the header, the first 3 records, and a
+        // torn half-line; the meta line from the finished run stays to
+        // prove it gets dropped.
+        let keep: Vec<&str> = complete.lines().take(4).collect();
+        let truncated = format!("{}\n{{\"kind\":\"rec", keep.join("\n"));
+        fs::write(&path, truncated).unwrap();
+
+        let resumed = CampaignEngine::new(2).run_streaming(&grid, &path).unwrap();
+        assert_eq!(resumed.jobs_skipped, 3);
+        assert_eq!(resumed.jobs_run, grid.len() - 3);
+        assert_eq!(
+            normalized_lines(&fs::read_to_string(&path).unwrap()),
+            normalized_lines(&complete),
+            "resumed run must be byte-identical to the uninterrupted one"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_a_changed_grid() {
+        let grid = compare_grid();
+        let dir = std::env::temp_dir().join("unsync_campaign_mod_test");
+        let path = dir.join("mismatch.jsonl.partial");
+        fs::create_dir_all(&dir).unwrap();
+        let _ = fs::remove_file(&path);
+        CampaignEngine::new(1).run_streaming(&grid, &path).unwrap();
+        let mut changed = grid.clone();
+        changed.inst_count += 1;
+        let err = CampaignEngine::new(1)
+            .run_streaming(&changed, &path)
+            .unwrap_err();
+        assert!(err.contains("header does not match"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strike_records_match_roec_grid_placements() {
+        // A campaign strike grid over the roec workload/seed must
+        // derive the same strike parameters the roec campaign derives:
+        // the salt chain and job-seed recipe are shared.
+        let cfg = crate::roec_uncore::RoecUncoreConfig {
+            inst_count: 120,
+            seed: 17,
+            strikes_per_cell: 1,
+            contention: L2ContentionConfig::many_core(),
+            benchmark: Benchmark::Gzip,
+        };
+        let grid = CampaignGrid {
+            name: "campaign_roec_equiv".into(),
+            inst_count: cfg.inst_count,
+            seeds: vec![cfg.seed],
+            workloads: vec![WorkloadSpec::Synthetic(cfg.benchmark)],
+            schemes: vec!["unsync_pair"],
+            strikes: Some(cfg.strike_plan()),
+            contention: Some(cfg.contention),
+        };
+        let roec: Vec<_> = crate::roec_uncore::run_campaign(&cfg, &crate::runner::Runner::new(1))
+            .into_iter()
+            .filter(|r| r.scheme == "unsync_pair")
+            .collect();
+        let jobs = grid.expand();
+        assert_eq!(jobs.len(), roec.len());
+        for (job, rec) in jobs.iter().zip(&roec) {
+            let line = run_job(&grid, *job, true);
+            let json = Json::parse(&line).unwrap();
+            assert_eq!(
+                json.get("structure").and_then(Json::as_str),
+                Some(rec.structure)
+            );
+            assert_eq!(json.get("cycle").and_then(Json::as_u64), Some(rec.cycle));
+            assert_eq!(
+                json.get("bit_offset").and_then(Json::as_u64),
+                Some(rec.bit_offset)
+            );
+            assert_eq!(
+                json.get("outcome").and_then(Json::as_str),
+                Some(rec.outcome.label())
+            );
+        }
+    }
+}

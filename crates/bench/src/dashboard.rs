@@ -350,6 +350,145 @@ pub fn render_scheme_table(rows: &[SchemeRow]) -> String {
     out
 }
 
+/// One campaign-engine run, read back from a campaign log's meta line
+/// (campaign metas are the ones carrying `jobs_per_sec` — see
+/// [`crate::campaign`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Experiment (grid) name.
+    pub experiment: String,
+    /// Worker threads of the run.
+    pub workers: u64,
+    /// Jobs in the full grid.
+    pub jobs: u64,
+    /// Jobs executed by this run (less than `jobs` after a resume).
+    pub jobs_run: u64,
+    /// Jobs skipped because a resumed log already held them.
+    pub jobs_skipped: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// Streaming throughput of the run.
+    pub jobs_per_sec: f64,
+    /// Golden-image memo hit rate, when the run recorded the counters.
+    pub golden_hit_pct: Option<f64>,
+    /// Baseline-cycles memo hit rate, when recorded.
+    pub baseline_hit_pct: Option<f64>,
+    /// Producer stall episodes on the bounded writer queue.
+    pub backpressure_stalls: u64,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// 95th-percentile writer-queue depth, when the histogram is
+    /// present.
+    pub queue_depth_p95: Option<f64>,
+}
+
+/// Extracts one [`CampaignRow`] per campaign meta line found in `logs`
+/// (file order). Non-campaign logs — whose meta lines lack
+/// `jobs_per_sec` — are ignored.
+pub fn campaign_rows(logs: &[LoadedLog]) -> Vec<CampaignRow> {
+    fn u(line: &Json, name: &str) -> u64 {
+        line.get(name).and_then(Json::as_u64).unwrap_or(0)
+    }
+    fn hit_pct(metrics: Option<&Json>, hits: &str, runs: &str) -> Option<f64> {
+        let m = metrics?;
+        let hits = m.get(hits).and_then(Json::as_f64)?;
+        let runs = m.get(runs).and_then(Json::as_f64)?;
+        let total = hits + runs;
+        (total > 0.0).then(|| 100.0 * hits / total)
+    }
+    let mut rows = Vec::new();
+    for log in logs {
+        for line in &log.lines {
+            if line.get("kind").and_then(Json::as_str) != Some("meta") {
+                continue;
+            }
+            let Some(jobs_per_sec) = line.get("jobs_per_sec").and_then(Json::as_f64) else {
+                continue;
+            };
+            let metrics = line.get("metrics");
+            rows.push(CampaignRow {
+                experiment: line
+                    .get("experiment")
+                    .and_then(Json::as_str)
+                    .unwrap_or(&log.file)
+                    .to_string(),
+                workers: u(line, "workers"),
+                jobs: u(line, "jobs"),
+                jobs_run: u(line, "jobs_run"),
+                jobs_skipped: u(line, "jobs_skipped"),
+                wall_ms: u(line, "wall_clock_ms"),
+                jobs_per_sec,
+                golden_hit_pct: hit_pct(
+                    metrics,
+                    "runner.golden_cache_hits",
+                    "runner.golden_sim_runs",
+                ),
+                baseline_hit_pct: hit_pct(
+                    metrics,
+                    "runner.baseline_cache_hits",
+                    "runner.baseline_sim_runs",
+                ),
+                backpressure_stalls: metrics
+                    .and_then(|m| m.get("campaign.backpressure_stalls"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                steals: metrics
+                    .and_then(|m| m.get("campaign.steals"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                queue_depth_p95: metrics
+                    .and_then(|m| m.get("campaign.queue_depth_samples"))
+                    .and_then(|h| histogram_percentile(h, 0.95)),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the campaign-run table (one row per campaign meta line;
+/// empty string when `rows` is empty).
+pub fn render_campaign_table(rows: &[CampaignRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9} {:>8} {:>8} {:>7} {:>7} {:>8}",
+        "campaign",
+        "workers",
+        "jobs",
+        "run",
+        "skipped",
+        "wall ms",
+        "jobs/sec",
+        "gold hit",
+        "base hit",
+        "stalls",
+        "steals",
+        "qd p95"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9.1} {:>8} {:>8} {:>7} {:>7} {:>8}",
+            r.experiment,
+            r.workers,
+            r.jobs,
+            r.jobs_run,
+            r.jobs_skipped,
+            r.wall_ms,
+            r.jobs_per_sec,
+            fmt_opt(r.golden_hit_pct, 1),
+            fmt_opt(r.baseline_hit_pct, 1),
+            r.backpressure_stalls,
+            r.steals,
+            fmt_opt(r.queue_depth_p95, 1)
+        );
+    }
+    out
+}
+
 /// Rebuilds the uncore vulnerability table from every `roec_uncore`
 /// run log in `logs` (record rows carry `structure` / `scheme` /
 /// `outcome`; rows whose outcome label fails to parse are skipped).

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod dashboard;
 pub mod experiments;
 pub mod kernelstats;
@@ -28,6 +29,10 @@ pub mod runlog;
 pub mod runner;
 pub mod stats;
 
+pub use campaign::{
+    normalized_lines, run_collected, run_mapped, BoundedQueue, CampaignEngine, CampaignGrid,
+    CampaignJob, CampaignReport, JobKind,
+};
 pub use experiments::{
     fig4, fig5, fig6, roec, scheme_values, ser_sweep, ExperimentConfig, Fig4Row, Fig5Cell, Fig6Row,
     RoecReport, SchemeValuesRow, SerSweep,
@@ -35,5 +40,5 @@ pub use experiments::{
 pub use lanesweep::{run_sweep, sweep_point, LaneSweepConfig, LaneSweepRow};
 pub use roec_uncore::{run_campaign, RoecUncoreConfig, StrikeRecord};
 pub use runlog::{Json, RunLog};
-pub use runner::{baseline_cycles, job_seed, job_stream, Runner};
+pub use runner::{baseline_cycles, job_seed, job_seed_named, job_stream, Runner};
 pub use stats::{multi_seed, Summary};

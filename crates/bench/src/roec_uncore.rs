@@ -39,10 +39,10 @@
 use std::sync::Arc;
 
 use unsync_core::{UnsyncConfig, UnsyncPolicy};
-use unsync_exec::{roec_events, RedundantDriver, SecdedOnlyPolicy, TmrVotePolicy};
+use unsync_exec::{roec_events, RedundantDriver, RunResult, SecdedOnlyPolicy, TmrVotePolicy};
 use unsync_fault::roec::{classify, StrikeOutcome, VulnerabilityTable};
-use unsync_fault::uncore::{UncoreStrike, UncoreTarget, ALL_UNCORE_TARGETS};
-use unsync_isa::ArchMemory;
+use unsync_fault::uncore::{StrikePlan, UncoreStrike, UncoreTarget};
+use unsync_isa::{ArchMemory, TraceProgram};
 use unsync_mem::{L2ContentionConfig, WritePolicy};
 use unsync_sim::CoreConfig;
 use unsync_workloads::{Benchmark, SyntheticSource, WorkloadSource};
@@ -106,6 +106,13 @@ impl RoecUncoreConfig {
     pub fn horizon(&self) -> u64 {
         self.inst_count * 2
     }
+
+    /// The campaign's strike plan: every uncore structure,
+    /// `strikes_per_cell` strikes each, alternating uniform / directed
+    /// sampling. The campaign grid is this plan × [`SCHEMES`].
+    pub fn strike_plan(&self) -> StrikePlan {
+        StrikePlan::all_uncore(self.strikes_per_cell, self.horizon())
+    }
 }
 
 /// One classified strike.
@@ -144,7 +151,11 @@ struct Job {
     strike: u64,
 }
 
-fn salt(target: UncoreTarget, scheme: &str, strike: u64) -> u64 {
+/// The per-job salt of a strike cell: a SplitMix64 chain over the
+/// structure label, scheme name, and strike index. Exported so the
+/// campaign engine's strike jobs reproduce `roec` grid placements
+/// byte-for-byte.
+pub fn strike_salt(target: UncoreTarget, scheme: &str, strike: u64) -> u64 {
     let mut h = 0x5ca1_ab1e_u64;
     for b in target.label().bytes().chain(scheme.bytes()) {
         h = unsync_isa::exec::splitmix64(h ^ u64::from(b));
@@ -152,61 +163,69 @@ fn salt(target: UncoreTarget, scheme: &str, strike: u64) -> u64 {
     unsync_isa::exec::splitmix64(h ^ strike)
 }
 
+/// Runs `trace` under one named scheme with `strikes` injected,
+/// journalling forced on. `golden` optionally supplies the memoized
+/// fault-free memory image so the driver skips its per-run golden
+/// re-execution (results are bit-identical either way — a trace's
+/// golden is unique).
+pub fn run_scheme_with_strikes(
+    driver: &RedundantDriver,
+    scheme: &str,
+    trace: &TraceProgram,
+    strikes: Vec<UncoreStrike>,
+    golden: Option<&ArchMemory>,
+) -> RunResult {
+    match scheme {
+        "unsync_pair" => driver.run_campaign_lane(
+            UnsyncPolicy::new(
+                "roec_uncore",
+                UnsyncConfig::paper_baseline(),
+                WritePolicy::WriteThrough,
+                0,
+            ),
+            trace,
+            Vec::new(),
+            strikes,
+            golden,
+        ),
+        "tmr_vote" => {
+            driver.run_campaign_lane(TmrVotePolicy::new(), trace, Vec::new(), strikes, golden)
+        }
+        "secded_only" => {
+            driver.run_campaign_lane(SecdedOnlyPolicy::new(), trace, Vec::new(), strikes, golden)
+        }
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// Classifies one finished strike run: diffs committed memory against
+/// the golden image (no policy-specific gating — SDC is SDC under
+/// every scheme) and labels the journalled events. Returns
+/// `(outcome, memory_matches)`.
+pub fn classify_strike_result(result: &RunResult, golden: &ArchMemory) -> (StrikeOutcome, bool) {
+    let memory_matches = golden
+        .iter()
+        .all(|(addr, val)| result.memory.read(addr) == val);
+    let events = roec_events(result.events.journal().unwrap_or(&[]));
+    (classify(&events, memory_matches), memory_matches)
+}
+
 /// Runs one strike job: one simulation, one strike, one label.
 fn run_job(cfg: &RoecUncoreConfig, job: Job, golden: &ArchMemory) -> StrikeRecord {
     let seed = job_seed(
         cfg.experiment(),
         cfg.benchmark,
-        salt(job.target, job.scheme, job.strike),
+        strike_salt(job.target, job.scheme, job.strike),
     );
-    let mut strike = UncoreStrike::plan_in(job.target, seed, job.strike, 0, cfg.horizon());
     // Odd strike indices run importance-sampled (conditioned on hitting
     // live state) so low-occupancy structures still measure coverage;
     // even indices sample the array uniformly and measure the AVF-style
-    // live fraction.
-    if job.strike % 2 == 1 {
-        strike = strike.directed();
-    }
+    // live fraction — [`StrikePlan::strike`] encodes the alternation.
+    let strike = cfg.strike_plan().strike(job.target, job.strike, seed, 0);
     let trace = SyntheticSource::new(cfg.benchmark, cfg.inst_count, cfg.seed).trace();
     let driver = RedundantDriver::new(CoreConfig::table1()).with_l2_contention(cfg.contention);
-    let schedule = vec![vec![strike]];
-    let result = match job.scheme {
-        "unsync_pair" => {
-            let mut policies = vec![UnsyncPolicy::new(
-                "roec_uncore",
-                UnsyncConfig::paper_baseline(),
-                WritePolicy::WriteThrough,
-                0,
-            )];
-            driver
-                .run_system_with_uncore_faults(&mut policies, &[trace], &[], &schedule)
-                .0
-                .remove(0)
-        }
-        "tmr_vote" => {
-            let mut policies = vec![TmrVotePolicy::new()];
-            driver
-                .run_system_with_uncore_faults(&mut policies, &[trace], &[], &schedule)
-                .0
-                .remove(0)
-        }
-        "secded_only" => {
-            let mut policies = vec![SecdedOnlyPolicy::new()];
-            driver
-                .run_system_with_uncore_faults(&mut policies, &[trace], &[], &schedule)
-                .0
-                .remove(0)
-        }
-        other => panic!("unknown scheme {other}"),
-    };
-    // The classifier's memory observable: the bench diffs the final
-    // committed image against the memoized golden directly (no
-    // policy-specific gating — SDC is SDC under every scheme).
-    let memory_matches = golden
-        .iter()
-        .all(|(addr, val)| result.memory.read(addr) == val);
-    let events = roec_events(result.events.journal().unwrap_or(&[]));
-    let outcome = classify(&events, memory_matches);
+    let result = run_scheme_with_strikes(&driver, job.scheme, &trace, vec![strike], Some(golden));
+    let (outcome, memory_matches) = classify_strike_result(&result, golden);
     StrikeRecord {
         structure: job.target.label(),
         scheme: job.scheme,
@@ -230,11 +249,14 @@ fn run_job(cfg: &RoecUncoreConfig, job: Job, golden: &ArchMemory) -> StrikeRecor
 /// strike index) regardless of worker count.
 pub fn run_campaign(cfg: &RoecUncoreConfig, runner: &Runner) -> Vec<StrikeRecord> {
     let golden: Arc<ArchMemory> = golden_memory(cfg.benchmark, cfg.experiment());
-    let jobs: Vec<Job> = ALL_UNCORE_TARGETS
+    let plan = cfg.strike_plan();
+    let strikes_per_cell = plan.strikes_per_cell;
+    let jobs: Vec<Job> = plan
+        .targets
         .iter()
         .flat_map(|&target| {
             SCHEMES.iter().flat_map(move |&scheme| {
-                (0..cfg.strikes_per_cell).map(move |strike| Job {
+                (0..strikes_per_cell).map(move |strike| Job {
                     target,
                     scheme,
                     strike,
@@ -356,6 +378,7 @@ pub fn render_vulnerability_table(table: &VulnerabilityTable) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unsync_fault::uncore::ALL_UNCORE_TARGETS;
 
     fn tiny() -> RoecUncoreConfig {
         RoecUncoreConfig {

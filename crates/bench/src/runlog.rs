@@ -458,11 +458,7 @@ impl RunLog {
     /// which is unchanged, and schema-1 consumers (and the golden
     /// snapshots) compare those lines byte-for-byte.
     pub fn finish(mut self, workers: usize) -> String {
-        let snapshot = metrics::global().snapshot();
-        let mut ms = Json::obj();
-        for (name, value) in metric_fields(&snapshot) {
-            ms = ms.field(&name, value);
-        }
+        let ms = metrics_snapshot_json();
         let meta = Json::obj()
             .field("kind", "meta")
             .field("schema", 2u64)
@@ -522,6 +518,19 @@ pub fn results_dir() -> PathBuf {
     std::env::var_os("UNSYNC_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// The global metrics registry rendered as one JSON object, exactly as
+/// it appears under the `metrics` key of a run log's `meta` line.
+/// [`RunLog::finish`] and the campaign engine's streamed meta line
+/// share this encoding, so the dashboard reads both identically.
+pub fn metrics_snapshot_json() -> Json {
+    let snapshot = metrics::global().snapshot();
+    let mut ms = Json::obj();
+    for (name, value) in metric_fields(&snapshot) {
+        ms = ms.field(&name, value);
+    }
+    ms
 }
 
 fn metric_fields(snapshot: &[(String, MetricValue)]) -> Vec<(String, Json)> {

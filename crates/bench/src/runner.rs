@@ -130,8 +130,16 @@ impl Default for Runner {
 /// experiment seed, the benchmark name, the instruction count, and a
 /// caller-chosen salt. Stable across platforms and worker counts.
 pub fn job_seed(cfg: ExperimentConfig, bench: Benchmark, salt: u64) -> u64 {
+    job_seed_named(cfg, bench.name(), salt)
+}
+
+/// [`job_seed`] keyed on a stable workload *name* instead of a
+/// [`Benchmark`] value — byte-identical for synthetic benchmarks
+/// (`job_seed` delegates here) and what lets kernel-backed campaign
+/// jobs share the same stream mapping.
+pub fn job_seed_named(cfg: ExperimentConfig, workload: &str, salt: u64) -> u64 {
     let mut h = splitmix64(cfg.seed ^ 0x7f4a_7c15_9e37_79b9);
-    for b in bench.name().bytes() {
+    for b in workload.bytes() {
         h = splitmix64(h ^ u64::from(b));
     }
     h = splitmix64(h ^ cfg.inst_count);
@@ -152,9 +160,61 @@ fn source_key(source: &dyn WorkloadSource) -> SourceKey {
     (source.name(), source.length(), source.seed())
 }
 
-fn baseline_cache() -> &'static Mutex<HashMap<SourceKey, Arc<OnceLock<u64>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<SourceKey, Arc<OnceLock<u64>>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Number of independent lock shards per memo cache. Keys hash to a
+/// shard via SplitMix64, so concurrent campaigns over *different*
+/// traces contend only when their keys collide modulo 16 — not on one
+/// global mutex.
+const CACHE_SHARDS: usize = 16;
+
+/// A process-wide memo cache split into [`CACHE_SHARDS`] independently
+/// locked segments. Each value slot is an `Arc<OnceLock<V>>` so cold
+/// racers block on the cell, not the shard lock, and the underlying
+/// simulation still runs exactly once.
+struct ShardedCache<V> {
+    shards: [Mutex<HashMap<SourceKey, Arc<OnceLock<V>>>>; CACHE_SHARDS],
+}
+
+impl<V> ShardedCache<V> {
+    fn new() -> ShardedCache<V> {
+        ShardedCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard_index(key: &SourceKey) -> usize {
+        let (name, length, seed) = key;
+        let mut h = 0x9e37_79b9_7f4a_7c15;
+        for b in name.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ length);
+        h = splitmix64(h ^ seed);
+        (h % CACHE_SHARDS as u64) as usize
+    }
+
+    /// Fetch (or insert) the memo cell for `key`, contending only on
+    /// the key's shard. An uncontended `try_lock` is the fast path; a
+    /// busy shard counts one `runner.cache_lock_waits` before falling
+    /// back to a blocking acquire.
+    fn cell(&self, key: SourceKey) -> Arc<OnceLock<V>> {
+        let shard = &self.shards[Self::shard_index(&key)];
+        let mut guard = match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                metrics::global().counter("runner.cache_lock_waits").inc();
+                shard.lock().expect("memo cache shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                panic!("memo cache shard poisoned: {e}")
+            }
+        };
+        Arc::clone(guard.entry(key).or_default())
+    }
+}
+
+fn baseline_cache() -> &'static ShardedCache<u64> {
+    static CACHE: OnceLock<ShardedCache<u64>> = OnceLock::new();
+    CACHE.get_or_init(ShardedCache::new)
 }
 
 /// Baseline (unprotected Table I CMP) cycle count for one workload
@@ -164,10 +224,7 @@ fn baseline_cache() -> &'static Mutex<HashMap<SourceKey, Arc<OnceLock<u64>>>> {
 /// the simulation runs exactly once; everyone else counts as a cache
 /// hit.
 pub fn baseline_cycles_source(source: &dyn WorkloadSource) -> u64 {
-    let cell = {
-        let mut cache = baseline_cache().lock().expect("baseline cache poisoned");
-        Arc::clone(cache.entry(source_key(source)).or_default())
-    };
+    let cell = baseline_cache().cell(source_key(source));
     let m = metrics::global();
     let mut simulated = false;
     let cycles = *cell.get_or_init(|| {
@@ -189,11 +246,9 @@ pub fn baseline_cycles(bench: Benchmark, cfg: ExperimentConfig) -> u64 {
     baseline_cycles_source(&SyntheticSource::new(bench, cfg.inst_count, cfg.seed))
 }
 
-type GoldenCache = Mutex<HashMap<SourceKey, Arc<OnceLock<Arc<ArchMemory>>>>>;
-
-fn golden_cache() -> &'static GoldenCache {
-    static CACHE: OnceLock<GoldenCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn golden_cache() -> &'static ShardedCache<Arc<ArchMemory>> {
+    static CACHE: OnceLock<ShardedCache<Arc<ArchMemory>>> = OnceLock::new();
+    CACHE.get_or_init(ShardedCache::new)
 }
 
 /// The golden (fault-free functional) memory image of one workload
@@ -204,10 +259,7 @@ fn golden_cache() -> &'static GoldenCache {
 /// [`golden_run`] once per trace instead of once per fault — observable
 /// as `runner.golden_sim_runs` vs. `runner.golden_cache_hits`.
 pub fn golden_memory_source(source: &dyn WorkloadSource) -> Arc<ArchMemory> {
-    let cell = {
-        let mut cache = golden_cache().lock().expect("golden cache poisoned");
-        Arc::clone(cache.entry(source_key(source)).or_default())
-    };
+    let cell = golden_cache().cell(source_key(source));
     let m = metrics::global();
     let mut simulated = false;
     let golden = Arc::clone(cell.get_or_init(|| {

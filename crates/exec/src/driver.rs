@@ -288,7 +288,7 @@ impl RedundantDriver {
         traces: &[TraceProgram],
         faults: &[Vec<PairFault>],
     ) -> (Vec<RunResult>, MemSystem) {
-        self.run_system_inner(policies, traces, faults, &[], false)
+        self.run_system_inner(policies, traces, faults, &[], false, &[])
     }
 
     /// Like [`RedundantDriver::run_system_with_faults`], but
@@ -314,7 +314,48 @@ impl RedundantDriver {
         faults: &[Vec<PairFault>],
         uncore: &[Vec<UncoreStrike>],
     ) -> (Vec<RunResult>, MemSystem) {
-        self.run_system_inner(policies, traces, faults, uncore, true)
+        self.run_system_inner(policies, traces, faults, uncore, true, &[])
+    }
+
+    /// Runs one single-lane campaign job: lane 0 of a one-lane system
+    /// with the given core-fault and uncore-strike schedules and the
+    /// cycle-stamped journal forced on. Batched campaign engines expand
+    /// grids into thousands of such jobs; this entry point keeps every
+    /// job on the exact
+    /// [`RedundantDriver::run_system_with_uncore_faults`] path without
+    /// each caller assembling one-element schedule vectors, and lets
+    /// the caller supply a memoized golden image so the driver skips
+    /// the per-job [`golden_run`] re-execution. The golden of a trace
+    /// is unique, so results are bit-identical either way — `None`
+    /// simply pays the recomputation, which is what the pre-campaign
+    /// sequential path did on every job.
+    pub fn run_campaign_lane<P: RedundancyPolicy>(
+        &self,
+        mut policy: P,
+        trace: &TraceProgram,
+        faults: Vec<PairFault>,
+        uncore: Vec<UncoreStrike>,
+        golden: Option<&ArchMemory>,
+    ) -> RunResult {
+        let fault_sched: Vec<Vec<PairFault>> = if faults.is_empty() {
+            Vec::new()
+        } else {
+            vec![faults]
+        };
+        let uncore_sched: Vec<Vec<UncoreStrike>> = if uncore.is_empty() {
+            Vec::new()
+        } else {
+            vec![uncore]
+        };
+        let (mut results, _mem) = self.run_system_inner(
+            std::slice::from_mut(&mut policy),
+            std::slice::from_ref(trace),
+            &fault_sched,
+            &uncore_sched,
+            true,
+            &[golden],
+        );
+        results.remove(0)
     }
 
     fn run_system_inner<P: RedundancyPolicy>(
@@ -324,6 +365,7 @@ impl RedundantDriver {
         faults: &[Vec<PairFault>],
         uncore: &[Vec<UncoreStrike>],
         journal: bool,
+        supplied_goldens: &[Option<&ArchMemory>],
     ) -> (Vec<RunResult>, MemSystem) {
         assert!(!traces.is_empty(), "at least one pair");
         assert_eq!(policies.len(), traces.len(), "one policy per lane");
@@ -338,10 +380,36 @@ impl RedundantDriver {
         let lanes = traces.len();
         let n = policies[0].replicas();
         let mut mem = self.build_mem(lanes * n, policies[0].l1_write_policy());
-        let goldens: Vec<Option<ArchMemory>> = traces
+        // A caller-supplied golden (memoized across a campaign)
+        // replaces the per-lane golden_run; the golden of a trace is
+        // unique, so the result is identical. Supplied images are
+        // borrowed, never cloned — only lanes without one pay for a
+        // golden execution here.
+        let computed_goldens: Vec<Option<ArchMemory>> = traces
             .iter()
             .zip(policies.iter())
-            .map(|(t, pol)| pol.verify_golden().then(|| golden_run(t).1))
+            .enumerate()
+            .map(|(p, (t, pol))| {
+                if !pol.verify_golden() || supplied_goldens.get(p).copied().flatten().is_some() {
+                    None
+                } else {
+                    Some(golden_run(t).1)
+                }
+            })
+            .collect();
+        let goldens: Vec<Option<&ArchMemory>> = policies
+            .iter()
+            .enumerate()
+            .map(|(p, pol)| {
+                if !pol.verify_golden() {
+                    return None;
+                }
+                supplied_goldens
+                    .get(p)
+                    .copied()
+                    .flatten()
+                    .or_else(|| computed_goldens[p].as_ref())
+            })
             .collect();
         let scheme = policies.first().map(|p| p.name());
 
@@ -428,7 +496,7 @@ impl RedundantDriver {
                 policy.uncore_strike(&mut mem, &mut lane, strike);
                 lane.sync_clock();
             }
-            self.finalize(policy, &mut mem, &mut lane, golden.as_ref());
+            self.finalize(policy, &mut mem, &mut lane, *golden);
             results.push(RunResult {
                 out: lane.out,
                 events: lane.events,

@@ -236,6 +236,74 @@ impl UncoreStrike {
     }
 }
 
+/// A deterministic strike-plan expansion: the fault half of a campaign
+/// grid. Crossing `targets × strikes_per_cell` yields the cells of a
+/// per-structure vulnerability campaign; [`StrikePlan::strike`] plans
+/// the concrete [`UncoreStrike`] of one cell index from a caller-chosen
+/// seed, byte-identically to calling [`UncoreStrike::plan_in`] (plus
+/// the uniform/directed alternation) directly — the ROEC campaign and
+/// the batched campaign engine share this one expansion so their grids
+/// can never drift apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrikePlan {
+    /// The structures the plan strikes, in cell order.
+    pub targets: Vec<UncoreTarget>,
+    /// Strikes per (structure, scheme) cell.
+    pub strikes_per_cell: u64,
+    /// Cycle horizon handed to [`UncoreStrike::plan_in`] (strikes land
+    /// in the middle half of `[0, horizon)`).
+    pub horizon: u64,
+    /// Alternate uniform / importance-sampled strikes: odd cell indices
+    /// are [`UncoreStrike::directed`], so low-occupancy structures
+    /// still resolve coverage while even indices measure the AVF-style
+    /// live fraction.
+    pub alternate_directed: bool,
+}
+
+impl StrikePlan {
+    /// The full-uncore plan over [`ALL_UNCORE_TARGETS`] with the
+    /// uniform/directed alternation the ROEC campaign uses.
+    pub fn all_uncore(strikes_per_cell: u64, horizon: u64) -> StrikePlan {
+        StrikePlan {
+            targets: ALL_UNCORE_TARGETS.to_vec(),
+            strikes_per_cell,
+            horizon,
+            alternate_directed: true,
+        }
+    }
+
+    /// Expands the plan into its `(target, strike index)` cells, in
+    /// grid order (target-major, then index).
+    pub fn cells(&self) -> Vec<(UncoreTarget, u64)> {
+        self.targets
+            .iter()
+            .flat_map(|&t| (0..self.strikes_per_cell).map(move |i| (t, i)))
+            .collect()
+    }
+
+    /// Number of cells the plan expands to.
+    pub fn len(&self) -> usize {
+        self.targets.len() * self.strikes_per_cell as usize
+    }
+
+    /// Whether the plan expands to no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plans the concrete strike of cell `(target, index)` against
+    /// `lane` from `seed` — [`UncoreStrike::plan_in`] plus the
+    /// alternation flag. Deterministic in every argument.
+    pub fn strike(&self, target: UncoreTarget, index: u64, seed: u64, lane: usize) -> UncoreStrike {
+        let strike = UncoreStrike::plan_in(target, seed, index, lane, self.horizon);
+        if self.alternate_directed && index % 2 == 1 {
+            strike.directed()
+        } else {
+            strike
+        }
+    }
+}
+
 /// Which detection mechanism guards each uncore structure under one
 /// scheme — the uncore analogue of [`crate::Coverage`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -367,6 +435,30 @@ mod tests {
             .map(|n| UncoreStrike::plan_in(UncoreTarget::L2Data, 9, n, 0, 1_000).kind)
             .collect();
         assert_eq!(kinds.len(), 2, "both upset kinds must occur");
+    }
+
+    #[test]
+    fn strike_plan_expands_in_grid_order_and_matches_plan_in() {
+        let plan = StrikePlan::all_uncore(3, 1_000);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), plan.len());
+        assert!(!plan.is_empty());
+        assert_eq!(cells[0], (UncoreTarget::L2Data, 0));
+        assert_eq!(cells[3], (UncoreTarget::L2Tag, 0));
+        for (target, index) in cells {
+            let s = plan.strike(target, index, 42, 0);
+            let mut direct = UncoreStrike::plan_in(target, 42, index, 0, 1_000);
+            if index % 2 == 1 {
+                direct = direct.directed();
+            }
+            assert_eq!(s, direct, "plan must reproduce plan_in byte-for-byte");
+            assert_eq!(s.directed, index % 2 == 1, "odd indices run directed");
+        }
+        let uniform = StrikePlan {
+            alternate_directed: false,
+            ..plan
+        };
+        assert!(!uniform.strike(UncoreTarget::CbTag, 1, 42, 0).directed);
     }
 
     #[test]
