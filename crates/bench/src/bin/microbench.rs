@@ -7,7 +7,8 @@
 //! components and a contended-L2 system run), event/metric
 //! publication, and the campaign engine's dispatch path (grid
 //! expansion, per-job cost with a cached golden, and the bounded
-//! writer-queue cycle) — and writes
+//! writer-queue cycle), plus the observability layer (scoped `prof`
+//! timer overhead, timeline model build, Chrome-trace render) — and writes
 //! the per-bench statistics to `BENCH_driver.json` so successive PRs
 //! have a machine-readable perf trajectory (see EXPERIMENTS.md,
 //! "Driver microbenchmarks").
@@ -240,6 +241,35 @@ fn campaign_benches(results: &mut Vec<BenchResult>) {
     results.extend(g.into_results());
 }
 
+fn obs_benches(results: &mut Vec<BenchResult>) {
+    use unsync_bench::timeline::{build_timeline, TimelineScenarioConfig};
+    use unsync_obs::prof;
+
+    let mut g = Bench::group("obs");
+    // Scoped-timer overhead: what one instrumented engine phase costs
+    // when nothing else happens inside the scope.
+    g.bench("prof/scope_enter_exit", || {
+        let t = bb(prof::scope("microbench.obs_overhead"));
+        t.stop();
+    });
+    // The timeline model build (a faulted 2-lane contended run plus
+    // event-stream conversion) and the Chrome-trace serialization.
+    let cfg = TimelineScenarioConfig {
+        lanes: 2,
+        insts_per_lane: 400,
+        seed: 11,
+        strikes_per_lane: 1,
+    };
+    g.bench("timeline/build_2_lanes_400i", || {
+        bb(build_timeline(&cfg)).episode_count()
+    });
+    let timeline = build_timeline(&cfg);
+    g.bench("timeline/chrome_trace_render", || {
+        bb(timeline.chrome_trace()).len()
+    });
+    results.extend(g.into_results());
+}
+
 fn write_json(results: &[BenchResult]) {
     let rows: Vec<Json> = results
         .iter()
@@ -283,6 +313,7 @@ fn main() {
     workload_benches(&mut results);
     event_benches(&mut results);
     campaign_benches(&mut results);
+    obs_benches(&mut results);
     assert!(
         !results.is_empty(),
         "UNSYNC_BENCH_FILTER removed every bench"

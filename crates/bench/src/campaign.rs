@@ -53,13 +53,14 @@ use unsync_fault::uncore::{StrikePlan, UncoreTarget};
 use unsync_isa::exec::splitmix64;
 use unsync_isa::TraceProgram;
 use unsync_mem::{L2ContentionConfig, WritePolicy};
+use unsync_obs::prof;
 use unsync_reunion::{CheckpointConfig, CheckpointHooks, LockstepPair, ReunionConfig, ReunionPair};
 use unsync_sim::{metrics, CoreConfig};
 use unsync_workloads::{WorkloadSource, WorkloadSpec};
 
 use crate::experiments::ExperimentConfig;
 use crate::roec_uncore::{classify_strike_result, run_scheme_with_strikes, strike_salt};
-use crate::runlog::{metrics_snapshot_json, Json};
+use crate::runlog::{metrics_snapshot_json, prof_block_json, Json};
 use crate::runner::{baseline_cycles_source, golden_memory_source, job_seed_named};
 
 /// A grid of experiment requests: the cartesian product of workloads ×
@@ -103,6 +104,7 @@ impl CampaignGrid {
     /// ids numbering that order. Job ids are the `row` keys of the
     /// JSONL log, so the order is part of the on-disk contract.
     pub fn expand(&self) -> Vec<CampaignJob> {
+        let _t = prof::scope("campaign.expand");
         let mut jobs = Vec::with_capacity(self.len());
         for &workload in &self.workloads {
             for &seed in &self.seeds {
@@ -297,8 +299,12 @@ fn run_job_inner(
         }
     };
     let fields = match job.kind {
-        JobKind::Compare => run_compare_job(job, trace),
+        JobKind::Compare => {
+            let _t = prof::scope("campaign.dispatch.compare");
+            run_compare_job(job, trace)
+        }
         JobKind::Strike { target, index } => {
+            let _t = prof::scope("campaign.dispatch.strike");
             run_strike_job(grid, job, trace, target, index, reuse_cached_golden)
         }
     };
@@ -423,6 +429,10 @@ pub struct BoundedQueue<T> {
     stalls: metrics::Counter,
     depth: metrics::Gauge,
     depth_samples: metrics::Histogram,
+    // `prof.campaign.queue_wait` — wall-clock µs producers spent
+    // blocked on a full queue (host domain, one observation per stall
+    // episode).
+    queue_wait: metrics::Histogram,
 }
 
 struct QueueState<T> {
@@ -446,6 +456,7 @@ impl<T> BoundedQueue<T> {
             stalls: m.counter("campaign.backpressure_stalls"),
             depth: m.gauge("campaign.queue_depth"),
             depth_samples: m.histogram("campaign.queue_depth_samples", QUEUE_DEPTH_BOUNDS),
+            queue_wait: metrics::prof_histogram("campaign.queue_wait"),
         }
     }
 
@@ -457,9 +468,12 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock().expect("campaign queue poisoned");
         if state.items.len() >= self.capacity {
             self.stalls.inc();
+            let stalled = Instant::now();
             while state.items.len() >= self.capacity {
                 state = self.not_full.wait(state).expect("campaign queue poisoned");
             }
+            self.queue_wait
+                .observe(stalled.elapsed().as_secs_f64() * 1e6);
         }
         let was_empty = state.items.is_empty();
         state.items.push_back(item);
@@ -646,6 +660,9 @@ impl CampaignEngine {
             .set(self.workers as f64);
         std::thread::scope(|outer| {
             let writer = outer.spawn(|| {
+                // Handle resolved once per run, observed per flushed
+                // batch (the cached-handle rule for hot phases).
+                let flush_prof = prof::handle("campaign.writer_flush");
                 let mut batch: Vec<String> = Vec::with_capacity(WRITER_BATCH);
                 while queue.drain_into(&mut batch, WRITER_BATCH) {
                     let mut text = String::with_capacity(batch.iter().map(|l| l.len() + 1).sum());
@@ -653,7 +670,9 @@ impl CampaignEngine {
                         text.push_str(&line);
                         text.push('\n');
                     }
+                    let flush_started = Instant::now();
                     let io = file.write_all(text.as_bytes()).and_then(|()| file.flush());
+                    flush_prof.observe(flush_started.elapsed().as_secs_f64() * 1e6);
                     if let Err(e) = io {
                         *write_error.lock().expect("write error slot poisoned") =
                             Some(format!("append {}: {e}", path.display()));
@@ -678,6 +697,7 @@ impl CampaignEngine {
                                 .expect("campaign deque poisoned")
                                 .pop_front();
                             if job.is_none() {
+                                let _t = prof::scope("campaign.steal");
                                 for (v, victim) in deques.iter().enumerate() {
                                     if v == w {
                                         continue;
@@ -740,6 +760,7 @@ impl CampaignEngine {
             .field("jobs_run", report.jobs_run as u64)
             .field("jobs_skipped", jobs_skipped as u64)
             .field("jobs_per_sec", report.jobs_per_sec())
+            .field("prof", prof_block_json())
             .field("metrics", metrics_snapshot_json());
         let mut line = meta.render();
         line.push('\n');

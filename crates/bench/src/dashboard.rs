@@ -239,6 +239,152 @@ pub fn hot_bank(hist: &Json) -> Option<(u64, f64)> {
     best.map(|(bank, n)| (bank, n as f64 / total as f64))
 }
 
+/// One per-bank row of the L2 occupancy table: conflicts and stall
+/// cycles attributed to one bank of one scheme's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankRow {
+    /// Scheme metric prefix.
+    pub scheme: String,
+    /// Bank index.
+    pub bank: u64,
+    /// Conflicts recorded on this bank.
+    pub conflicts: u64,
+    /// Share of the scheme's conflicts landing on this bank.
+    pub conflict_share: f64,
+    /// Bank-wait cycles attributed to this bank.
+    pub stall_cycles: u64,
+}
+
+/// Per-bank tallies of a bank-indexed histogram (each finite bucket's
+/// bound is a bank index, its count that bank's tally); empty-count
+/// banks are skipped.
+fn bank_tallies(hist: Option<&Json>) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    let Some(Json::Arr(buckets)) = hist.and_then(|h| h.get("buckets")) else {
+        return out;
+    };
+    for b in buckets {
+        let Some(le) = b.get("le").and_then(Json::as_f64) else {
+            continue;
+        };
+        let n = b.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if n > 0 {
+            out.insert(le as u64, n);
+        }
+    }
+    out
+}
+
+/// Expands every scheme's `l2_bank_conflicts` / `l2_bank_stalls`
+/// histograms into per-bank rows (banks that saw neither a conflict
+/// nor a stall are omitted; empty when no banked-L2 run is present).
+pub fn bank_rows(stats: &SchemeStats) -> Vec<BankRow> {
+    let mut rows = Vec::new();
+    for (scheme, m) in stats {
+        let conflicts = bank_tallies(m.get("l2_bank_conflicts"));
+        let stalls = bank_tallies(m.get("l2_bank_stalls"));
+        let total: u64 = conflicts.values().sum();
+        let banks: std::collections::BTreeSet<u64> =
+            conflicts.keys().chain(stalls.keys()).copied().collect();
+        for bank in banks {
+            let n = conflicts.get(&bank).copied().unwrap_or(0);
+            rows.push(BankRow {
+                scheme: scheme.clone(),
+                bank,
+                conflicts: n,
+                conflict_share: if total > 0 {
+                    n as f64 / total as f64
+                } else {
+                    0.0
+                },
+                stall_cycles: stalls.get(&bank).copied().unwrap_or(0),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the per-bank L2 table (empty string when no rows — the
+/// detailed expansion of the scheme table's `hotbank` column).
+pub fn render_bank_table(rows: &[BankRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>5} {:>10} {:>7} {:>11}",
+        "scheme", "bank", "conflicts", "share", "stall cyc"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>10} {:>6.1}% {:>11}",
+            r.scheme,
+            r.bank,
+            r.conflicts,
+            r.conflict_share * 100.0,
+            r.stall_cycles
+        );
+    }
+    out
+}
+
+/// Engine health counters, max-merged across every log's meta metrics
+/// (max for the same reason scheme metrics merge by max: the counters
+/// are monotonic within one process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Cycle-journal events dropped on the bounded journal
+    /// (`exec.journal_dropped`) — non-zero means exported timelines
+    /// are incomplete.
+    pub journal_dropped: u64,
+    /// Producer stall episodes on the campaign writer queue
+    /// (`campaign.backpressure_stalls`).
+    pub backpressure_stalls: u64,
+    /// Contended acquisitions of the runner's sharded cache locks
+    /// (`runner.cache_lock_waits`).
+    pub cache_lock_waits: u64,
+}
+
+impl HealthCounters {
+    /// Whether every counter is zero.
+    pub fn clean(&self) -> bool {
+        *self == HealthCounters::default()
+    }
+}
+
+/// Collects [`HealthCounters`] from the logs' meta lines.
+pub fn health_counters(logs: &[LoadedLog]) -> HealthCounters {
+    let mut h = HealthCounters::default();
+    for log in logs {
+        let Some(m) = log.meta_metrics() else {
+            continue;
+        };
+        let get = |k: &str| m.get(k).and_then(Json::as_u64).unwrap_or(0);
+        h.journal_dropped = h.journal_dropped.max(get("exec.journal_dropped"));
+        h.backpressure_stalls = h
+            .backpressure_stalls
+            .max(get("campaign.backpressure_stalls"));
+        h.cache_lock_waits = h.cache_lock_waits.max(get("runner.cache_lock_waits"));
+    }
+    h
+}
+
+/// Renders the one-line health summary; journal truncation is the one
+/// condition that corrupts downstream artifacts (timeline exports), so
+/// it gets an explicit warning suffix.
+pub fn render_health_line(h: &HealthCounters) -> String {
+    let mut line = format!(
+        "health: journal_dropped={} backpressure_stalls={} cache_lock_waits={}",
+        h.journal_dropped, h.backpressure_stalls, h.cache_lock_waits
+    );
+    if h.journal_dropped > 0 {
+        line.push_str("  !! journal truncated: timeline exports are incomplete");
+    }
+    line
+}
+
 /// Builds the table rows from [`scheme_stats`] output.
 pub fn scheme_rows(stats: &SchemeStats) -> Vec<SchemeRow> {
     let get = |m: &BTreeMap<String, Json>, k: &str| m.get(k).and_then(Json::as_u64).unwrap_or(0);
@@ -549,6 +695,10 @@ pub struct DiffReport {
     pub deltas: Vec<String>,
     /// Leaves compared.
     pub compared: usize,
+    /// Health warnings that do not fail the diff but flag suspect
+    /// inputs (currently: non-zero `exec.journal_dropped` on either
+    /// side, which means that side's timeline exports are incomplete).
+    pub warnings: Vec<String>,
 }
 
 impl DiffReport {
@@ -600,7 +750,10 @@ fn flatten(value: &Json, path: &mut String, out: &mut Vec<(String, Leaf)>) {
 
 /// Flattens one log into comparable `path → leaf` pairs. Deterministic
 /// lines always compare; the meta line joins only with `include_meta`,
-/// minus the environment-shaped `workers` / `wall_clock_ms` fields.
+/// minus the environment-shaped `workers` / `wall_clock_ms` fields, the
+/// host-domain `prof` block, and every `prof.*` metric — wall-clock
+/// profiles differ across reruns by construction and must never fail a
+/// determinism diff.
 fn comparable_leaves(log: &LoadedLog, include_meta: bool) -> Vec<(String, Leaf)> {
     let mut out = Vec::new();
     for (i, line) in log.lines.iter().enumerate() {
@@ -611,7 +764,12 @@ fn comparable_leaves(log: &LoadedLog, include_meta: bool) -> Vec<(String, Leaf)>
             }
             let mut pruned = line.clone();
             if let Json::Obj(fields) = &mut pruned {
-                fields.retain(|(k, _)| k != "workers" && k != "wall_clock_ms");
+                fields.retain(|(k, _)| k != "workers" && k != "wall_clock_ms" && k != "prof");
+                if let Some((_, Json::Obj(metrics))) =
+                    fields.iter_mut().find(|(k, _)| k == "metrics")
+                {
+                    metrics.retain(|(k, _)| !k.starts_with("prof."));
+                }
             }
             let mut path = "meta".to_string();
             flatten(&pruned, &mut path, &mut out);
@@ -643,11 +801,20 @@ fn leaf_delta(a: &Leaf, b: &Leaf, tolerance: f64) -> Option<String> {
 pub fn diff_dirs(dir_a: &Path, dir_b: &Path, opts: DiffOptions) -> Result<DiffReport, String> {
     let a = load_dir(dir_a)?;
     let b = load_dir(dir_b)?;
+    let mut report = DiffReport::default();
+    for (side, logs) in [("A", &a), ("B", &b)] {
+        let h = health_counters(logs);
+        if h.journal_dropped > 0 {
+            report.warnings.push(format!(
+                "{side}: journal_dropped={} (cycle journal truncated; timeline exports from this side are incomplete)",
+                h.journal_dropped
+            ));
+        }
+    }
     let index = |logs: &[LoadedLog]| -> BTreeMap<String, LoadedLog> {
         logs.iter().map(|l| (l.file.clone(), l.clone())).collect()
     };
     let (a, b) = (index(&a), index(&b));
-    let mut report = DiffReport::default();
     for file in a
         .keys()
         .chain(b.keys())
@@ -852,6 +1019,120 @@ mod tests {
             .any(|d| d.contains("meta.metrics.unsync_pair.cycles")));
         // workers / wall_clock_ms never compare, even with meta on.
         assert!(with.deltas.iter().all(|d| !d.contains("wall_clock_ms")));
+    }
+
+    #[test]
+    fn bank_rows_expand_conflicts_and_stalls_per_bank() {
+        let meta = META_A.replace(
+            "\"runner.baseline_sim_runs\":7",
+            concat!(
+                "\"unsync_pair.l2_bank_conflicts\":{\"count\":10,\"sum\":14.0,",
+                "\"buckets\":[{\"le\":0.0,\"count\":4},{\"le\":2.0,\"count\":6},",
+                "{\"le\":null,\"count\":0}]},",
+                "\"unsync_pair.l2_bank_stalls\":{\"count\":90,\"sum\":100.0,",
+                "\"buckets\":[{\"le\":0.0,\"count\":30},{\"le\":2.0,\"count\":60},",
+                "{\"le\":null,\"count\":0}]}"
+            ),
+        );
+        let rows = bank_rows(&scheme_stats(&[log("a.jsonl", &[&meta])]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            (rows[0].bank, rows[0].conflicts, rows[0].stall_cycles),
+            (0, 4, 30)
+        );
+        assert_eq!(
+            (rows[1].bank, rows[1].conflicts, rows[1].stall_cycles),
+            (2, 6, 60)
+        );
+        assert!((rows[1].conflict_share - 0.6).abs() < 1e-12);
+        let table = render_bank_table(&rows);
+        assert!(table.lines().next().unwrap().contains("stall cyc"));
+        assert!(table.contains("60.0%"));
+        // No bank histograms → no table.
+        assert!(bank_rows(&scheme_stats(&[log("a.jsonl", &[META_A])])).is_empty());
+    }
+
+    #[test]
+    fn health_counters_max_merge_and_flag_journal_drops() {
+        let clean = health_counters(&[log("a.jsonl", &[META_A])]);
+        assert!(clean.clean());
+        let meta = META_A.replace(
+            "\"runner.baseline_sim_runs\":7",
+            "\"exec.journal_dropped\":3,\"campaign.backpressure_stalls\":2,\"runner.cache_lock_waits\":5",
+        );
+        let h = health_counters(&[log("a.jsonl", &[META_A]), log("b.jsonl", &[&meta])]);
+        assert_eq!(h.journal_dropped, 3);
+        assert_eq!(h.backpressure_stalls, 2);
+        assert_eq!(h.cache_lock_waits, 5);
+        assert!(!h.clean());
+        let line = render_health_line(&h);
+        assert!(line.contains("journal_dropped=3"));
+        assert!(line.contains("journal truncated"));
+        assert!(!render_health_line(&clean).contains("truncated"));
+    }
+
+    #[test]
+    fn prof_data_never_joins_a_meta_diff() {
+        let dir_a = std::env::temp_dir().join("unsync_dash_prof_a");
+        let dir_b = std::env::temp_dir().join("unsync_dash_prof_b");
+        for d in [&dir_a, &dir_b] {
+            let _ = fs::remove_dir_all(d);
+            fs::create_dir_all(d).unwrap();
+        }
+        // Identical deterministic metrics; wildly different host-domain
+        // prof blocks and prof.* histograms, as two reruns would show.
+        let meta = |us: u64| {
+            META_A.replace(
+                "\"wall_clock_ms\":5,",
+                &format!(
+                    concat!(
+                        "\"wall_clock_ms\":5,",
+                        "\"prof\":{{\"sched.run\":{{\"count\":1,\"sum_us\":{us}.0,\"mean_us\":{us}.0}}}},"
+                    ),
+                    us = us
+                ),
+            )
+            .replace(
+                "\"runner.baseline_sim_runs\":7",
+                &format!(
+                    "\"prof.sched.run\":{{\"count\":1,\"sum\":{us}.0,\"buckets\":[{{\"le\":null,\"count\":1}}]}}"
+                ),
+            )
+        };
+        fs::write(dir_a.join("x.jsonl"), format!("{}\n", meta(10))).unwrap();
+        fs::write(dir_b.join("x.jsonl"), format!("{}\n", meta(9000))).unwrap();
+        let report = diff_dirs(
+            &dir_a,
+            &dir_b,
+            DiffOptions {
+                tolerance: 0.0,
+                include_meta: true,
+            },
+        )
+        .unwrap();
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn diff_warns_on_truncated_journals() {
+        let dir_a = std::env::temp_dir().join("unsync_dash_warn_a");
+        let dir_b = std::env::temp_dir().join("unsync_dash_warn_b");
+        for d in [&dir_a, &dir_b] {
+            let _ = fs::remove_dir_all(d);
+            fs::create_dir_all(d).unwrap();
+        }
+        let dropped = META_A.replace(
+            "\"runner.baseline_sim_runs\":7",
+            "\"exec.journal_dropped\":41",
+        );
+        fs::write(dir_a.join("x.jsonl"), format!("{dropped}\n")).unwrap();
+        fs::write(dir_b.join("x.jsonl"), format!("{META_A}\n")).unwrap();
+        let report = diff_dirs(&dir_a, &dir_b, DiffOptions::default()).unwrap();
+        // Warnings flag side A without failing the (meta-free) diff.
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].starts_with("A:"));
+        assert!(report.warnings[0].contains("journal_dropped=41"));
     }
 
     #[test]

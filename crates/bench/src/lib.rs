@@ -28,6 +28,7 @@ pub mod roec_uncore;
 pub mod runlog;
 pub mod runner;
 pub mod stats;
+pub mod timeline;
 
 pub use campaign::{
     normalized_lines, run_collected, run_mapped, BoundedQueue, CampaignEngine, CampaignGrid,
@@ -42,3 +43,4 @@ pub use roec_uncore::{run_campaign, RoecUncoreConfig, StrikeRecord};
 pub use runlog::{Json, RunLog};
 pub use runner::{baseline_cycles, job_seed, job_seed_named, job_stream, Runner};
 pub use stats::{multi_seed, Summary};
+pub use timeline::{build_timeline, plan_strikes, TimelineScenarioConfig};

@@ -450,7 +450,8 @@ impl RunLog {
     }
 
     /// Stamps the nondeterministic `meta` line (worker count, wall-clock
-    /// milliseconds, metrics snapshot) and returns the full log text.
+    /// milliseconds, host-domain `prof` phase summary, metrics
+    /// snapshot) and returns the full log text.
     ///
     /// The meta line carries its own `schema` field, bumped to 2 when
     /// the histogram/span metrics landed. The *header* stays at
@@ -465,6 +466,7 @@ impl RunLog {
             .field("experiment", self.experiment.as_str())
             .field("workers", workers)
             .field("wall_clock_ms", self.started.elapsed().as_millis() as u64)
+            .field("prof", prof_block_json())
             .field("metrics", ms);
         self.lines.push(meta.render());
         let mut text = self.lines.join("\n");
@@ -531,6 +533,32 @@ pub fn metrics_snapshot_json() -> Json {
         ms = ms.field(&name, value);
     }
     ms
+}
+
+/// The host-domain profiler summary embedded as the meta line's `prof`
+/// block: every `prof.*` histogram of the global registry, keyed by
+/// phase (the name minus the `prof.` prefix), condensed to
+/// `{count, sum_us, mean_us}`. Wall-clock numbers — like `workers` and
+/// `wall_clock_ms`, this block lives on the meta line only and is
+/// excluded from run-to-run diffs.
+pub fn prof_block_json() -> Json {
+    let mut block = Json::obj();
+    for (name, value) in metrics::global().snapshot() {
+        let Some(phase) = name.strip_prefix("prof.") else {
+            continue;
+        };
+        if let MetricValue::Histogram { count, sum, .. } = value {
+            let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+            block = block.field(
+                phase,
+                Json::obj()
+                    .field("count", count)
+                    .field("sum_us", sum)
+                    .field("mean_us", mean),
+            );
+        }
+    }
+    block
 }
 
 fn metric_fields(snapshot: &[(String, MetricValue)]) -> Vec<(String, Json)> {

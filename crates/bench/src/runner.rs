@@ -194,14 +194,16 @@ impl<V> ShardedCache<V> {
 
     /// Fetch (or insert) the memo cell for `key`, contending only on
     /// the key's shard. An uncontended `try_lock` is the fast path; a
-    /// busy shard counts one `runner.cache_lock_waits` before falling
-    /// back to a blocking acquire.
+    /// busy shard counts one `runner.cache_lock_waits` — and records
+    /// the wall-clock wait into `prof.runner.cache_lock_wait` — before
+    /// falling back to a blocking acquire.
     fn cell(&self, key: SourceKey) -> Arc<OnceLock<V>> {
         let shard = &self.shards[Self::shard_index(&key)];
         let mut guard = match shard.try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
                 metrics::global().counter("runner.cache_lock_waits").inc();
+                let _t = unsync_obs::prof::scope("runner.cache_lock_wait");
                 shard.lock().expect("memo cache shard poisoned")
             }
             Err(std::sync::TryLockError::Poisoned(e)) => {

@@ -26,7 +26,7 @@
 use unsync_fault::uncore::UncoreStrike;
 use unsync_fault::PairFault;
 use unsync_isa::{golden_run, ArchMemory, ArchState, Inst, TraceProgram};
-use unsync_mem::{HierarchyConfig, L2ContentionConfig, MemSystem};
+use unsync_mem::{HierarchyConfig, L2ContentionConfig, L2ContentionEvent, MemSystem};
 use unsync_sim::{CoreConfig, OooEngine};
 
 use crate::event::{EventStream, TraceEventKind};
@@ -60,6 +60,16 @@ pub struct LaneState {
     /// scheme's `l2_bank_conflicts` histogram at finalization. Empty
     /// when the contention model is off.
     pub bank_conflicts: Vec<u64>,
+    /// Per-bank L2 stall-cycle tallies (index = bank), the cycle-
+    /// weighted companion of [`LaneState::bank_conflicts`]; published
+    /// as the scheme's `l2_bank_stalls` histogram at finalization.
+    pub bank_stalls: Vec<u64>,
+    /// The cycle-stamped bank-conflict events drained from the shared
+    /// L2, in drain order. The journal's `L2Contention` entries carry
+    /// only the stall; this keeps the bank index so timeline exports
+    /// can place each conflict on its bank track. Empty when the
+    /// contention model is off.
+    pub l2_events: Vec<L2ContentionEvent>,
     /// The outcome counters being accumulated.
     pub out: OutcomeCore,
     /// Cached wall clock — `max` over the engines, maintained by the
@@ -79,6 +89,8 @@ impl LaneState {
             pending: PendingStores::new(),
             events: EventStream::new(),
             bank_conflicts: Vec::new(),
+            bank_stalls: Vec::new(),
+            l2_events: Vec::new(),
             out: OutcomeCore::default(),
             clock: 0,
         }
@@ -144,6 +156,12 @@ pub struct RunResult {
     pub events: EventStream,
     /// The lane's final committed (agreed) memory image.
     pub memory: ArchMemory,
+    /// The cycle-stamped bank-conflict events the lane's requests
+    /// raised in the shared L2, in drain order (bank index included —
+    /// the journal's `L2Contention` entries only keep the stall).
+    /// Deterministic like everything else in the cycle domain; empty
+    /// when the contention model is off.
+    pub l2_events: Vec<L2ContentionEvent>,
 }
 
 /// The shared redundant-execution driver (see the [module docs]).
@@ -193,8 +211,11 @@ impl RedundantDriver {
             for e in events.drain(..) {
                 if lane.bank_conflicts.len() <= e.bank {
                     lane.bank_conflicts.resize(e.bank + 1, 0);
+                    lane.bank_stalls.resize(e.bank + 1, 0);
                 }
                 lane.bank_conflicts[e.bank] += 1;
+                lane.bank_stalls[e.bank] += e.stall;
+                lane.l2_events.push(e);
                 lane.events
                     .emit_at(TraceEventKind::L2Contention, e.stall, e.cycle);
             }
@@ -258,6 +279,7 @@ impl RedundantDriver {
             out: lane.out,
             events: lane.events,
             memory: lane.committed_mem,
+            l2_events: lane.l2_events,
         }
     }
 
@@ -475,7 +497,14 @@ impl RedundantDriver {
                 }
             })
             .collect();
+        // Host-domain profile of the discrete-event tick loop: the
+        // handle is resolved once per process (the cached-handle rule),
+        // the observation is wall-clock microseconds, and the number
+        // lands only in the `prof.` namespace — never in the
+        // deterministic cycle domain.
+        let sched_started = std::time::Instant::now();
         sched::run(&mut runners, &mut mem);
+        sched_prof().observe(sched_started.elapsed().as_secs_f64() * 1e6);
 
         if let Some(name) = scheme {
             crate::event::scheme_counters(name).runs.inc();
@@ -501,6 +530,7 @@ impl RedundantDriver {
                 out: lane.out,
                 events: lane.events,
                 memory: lane.committed_mem,
+                l2_events: lane.l2_events,
             });
         }
         // System-level recovery concurrency: the fraction of recovery
@@ -591,6 +621,7 @@ impl RedundantDriver {
                 out: lane.out,
                 events: lane.events,
                 memory: lane.committed_mem,
+                l2_events: lane.l2_events,
             });
         }
         let all_episodes: Vec<crate::spans::Episode> = results
@@ -761,12 +792,35 @@ impl RedundantDriver {
             }
         }
         // Per-bank L2 conflict profile: one pre-aggregated observation
-        // batch per bank, valued at the bank index.
+        // batch per bank, valued at the bank index — and its stall-
+        // cycle companion, weighted by the cycles spent waiting.
         for (bank, &n) in lane.bank_conflicts.iter().enumerate() {
             counters.l2_banks.observe_n(bank as f64, n);
         }
+        for (bank, &stall) in lane.bank_stalls.iter().enumerate() {
+            counters.l2_bank_stalls.observe_n(bank as f64, stall);
+        }
         lane.events.publish(name);
+        // Journal overflow is a health signal: a truncated journal
+        // silently under-reports the cycle timeline, so the drop count
+        // is surfaced process-wide for the dashboard's health line.
+        let dropped = lane.events.journal_dropped();
+        if dropped > 0 {
+            unsync_sim::metrics::global()
+                .counter("exec.journal_dropped")
+                .add(dropped);
+        }
     }
+}
+
+/// The cached `prof.sched.run` histogram handle: wall-clock duration
+/// (µs) of each `run_system` scheduler invocation (the whole
+/// discrete-event tick loop, all lanes). Resolved once per process so
+/// campaign engines dispatching thousands of system runs never pay the
+/// registry lock per job.
+fn sched_prof() -> &'static unsync_sim::metrics::Histogram {
+    static H: std::sync::OnceLock<unsync_sim::metrics::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| unsync_sim::metrics::prof_histogram("sched.run"))
 }
 
 /// One lane as a discrete-event component: wakes at its cached lane

@@ -198,6 +198,12 @@ pub(crate) struct SchemeCounters {
     /// the bucket profile is the per-bank occupancy-pressure histogram
     /// the dashboard renders.
     pub l2_banks: Histogram,
+    /// `<scheme>.l2_bank_stalls` — the stall-cycle companion of
+    /// `l2_banks`: one pre-aggregated observation batch per bank,
+    /// valued at the bank index and weighted by the cycles requests
+    /// spent waiting on that bank, so each bucket's count is the bank's
+    /// total stall cycles (the dashboard's per-bank occupancy column).
+    pub l2_bank_stalls: Histogram,
 }
 
 /// The (cached) counter handles for `scheme`.
@@ -227,6 +233,7 @@ pub(crate) fn scheme_counters(scheme: &str) -> Arc<SchemeCounters> {
             &LATENCY_HIST_BOUNDS,
         ),
         l2_banks: m.histogram(&format!("{scheme}.l2_bank_conflicts"), &L2_BANK_HIST_BOUNDS),
+        l2_bank_stalls: m.histogram(&format!("{scheme}.l2_bank_stalls"), &L2_BANK_HIST_BOUNDS),
     });
     cache.insert(scheme.to_string(), Arc::clone(&c));
     c

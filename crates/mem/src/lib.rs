@@ -38,7 +38,7 @@ pub mod wbuf;
 pub use bus::Bus;
 pub use cache::{AccessKind, Cache, CacheResponse, CacheStats, WritePolicy};
 pub use config::{CacheConfig, HierarchyConfig, TlbConfig};
-pub use contention::{L2Contention, L2ContentionConfig, L2ContentionEvent};
+pub use contention::{BankStats, L2Contention, L2ContentionConfig, L2ContentionEvent};
 pub use hierarchy::{AccessOutcome, MemSystem};
 pub use mshr::MshrFile;
 pub use tlb::Tlb;

@@ -315,6 +315,41 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+/// Bucket bounds (microseconds) shared by every `prof.*` host-domain
+/// phase histogram: 1 µs to 1 s in a coarse log ladder. One common
+/// ladder keeps phase histograms comparable across layers (scheduler
+/// loop, campaign dispatch, cache waits) in `UNSYNC_METRICS_FILE`
+/// exports and per-run meta `prof` blocks.
+pub const PROF_BOUNDS_US: [f64; 11] = [
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// Resolves (creating on first use) the host-domain phase histogram
+/// `prof.<phase>` in the [`global`] registry, with the shared
+/// [`PROF_BOUNDS_US`] microsecond ladder.
+///
+/// `prof.*` metrics record **wall-clock** phase durations, never
+/// simulated cycles: they exist so a `BENCH_*.json` regression is
+/// attributable to a phase instead of a total. They are therefore
+/// non-deterministic by design and must stay out of run-to-run diffs
+/// (the dashboard's diff excludes the `prof.` namespace). Call sites on
+/// hot paths should resolve the handle once (e.g. behind a `OnceLock`)
+/// and observe through the cached clone — observation itself is
+/// lock-free.
+pub fn prof_histogram(phase: &str) -> Histogram {
+    global().histogram(&format!("prof.{phase}"), &PROF_BOUNDS_US)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +408,28 @@ mod tests {
         let r = Registry::new();
         r.gauge("m");
         r.counter("m");
+    }
+
+    #[test]
+    fn prof_histograms_share_the_us_ladder() {
+        let h = prof_histogram("test_only.metrics_unit");
+        h.observe(3.0);
+        h.observe(700.0);
+        assert_eq!(h.count(), 2);
+        let snap = global().snapshot();
+        let (_, value) = snap
+            .iter()
+            .find(|(name, _)| name == "prof.test_only.metrics_unit")
+            .expect("prof histogram registered under the prof. namespace");
+        match value {
+            MetricValue::Histogram { buckets, .. } => {
+                assert_eq!(buckets.len(), PROF_BOUNDS_US.len() + 1);
+                assert_eq!(buckets[1], (5.0, 1), "3 µs lands in the ≤5 µs bucket");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Re-resolving aliases the same slot (the cached-handle contract).
+        assert_eq!(prof_histogram("test_only.metrics_unit").count(), 2);
     }
 
     #[test]
